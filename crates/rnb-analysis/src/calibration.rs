@@ -1,0 +1,205 @@
+//! Calibration of simulated transactions to real throughput (Appendix).
+//!
+//! The paper micro-benchmarks a memcached server with memaslap and finds
+//! (Fig 13) that *items fetched per second grows linearly with items per
+//! transaction* — i.e. server time per transaction is
+//! `t(n) = t_txn + n · t_item` with `t_txn ≫ t_item`. The simulator's
+//! transaction-size histogram is then converted into a throughput
+//! estimate by summing server work. We reproduce this with a
+//! [`CostModel`] fitted by least squares from `(txn_size, items/sec)`
+//! measurements of our own `rnb-store` substrate (or the paper-era
+//! defaults below).
+
+/// Linear server cost model: a transaction of `n` items takes
+/// `txn_overhead_us + n · per_item_us` microseconds of server CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per transaction, µs.
+    pub txn_overhead_us: f64,
+    /// Marginal cost per item, µs.
+    pub per_item_us: f64,
+}
+
+impl CostModel {
+    /// Defaults in the ballpark of the paper's 2012 hardware (Core
+    /// i7-930, 1 GbE, TCP): ~105k single-item gets/sec saturating toward
+    /// ~1.4M items/sec at large transactions — matching Fig 13's shape.
+    pub const PAPER_ERA: CostModel = CostModel {
+        txn_overhead_us: 8.8,
+        per_item_us: 0.7,
+    };
+
+    /// Server time (µs) for one transaction of `n` items.
+    pub fn txn_time_us(&self, n: usize) -> f64 {
+        self.txn_overhead_us + n as f64 * self.per_item_us
+    }
+
+    /// Items fetched per second when a server is saturated with
+    /// transactions of exactly `n` items (the Fig 13 curve).
+    pub fn items_per_sec(&self, n: usize) -> f64 {
+        assert!(n > 0, "a get transaction carries at least one item");
+        n as f64 * 1e6 / self.txn_time_us(n)
+    }
+
+    /// Transactions per second at transaction size `n`.
+    pub fn txns_per_sec(&self, n: usize) -> f64 {
+        1e6 / self.txn_time_us(n)
+    }
+
+    /// Total server CPU time (µs) to serve a transaction-size histogram
+    /// (`hist[s]` transactions of `s` items).
+    pub fn total_time_us(&self, hist: &[u64]) -> f64 {
+        hist.iter()
+            .enumerate()
+            .map(|(s, &c)| c as f64 * self.txn_time_us(s))
+            .sum()
+    }
+
+    /// Maximum request throughput (requests/sec) of an `N`-server cluster
+    /// that served `requests` requests costing `hist` transactions, under
+    /// perfect load balance: the cluster has `N` CPU-seconds per second,
+    /// and each request costs `total_time / requests` µs of CPU.
+    pub fn cluster_throughput(&self, hist: &[u64], requests: u64, servers: usize) -> f64 {
+        assert!(requests > 0, "throughput of zero requests is undefined");
+        let us_per_request = self.total_time_us(hist) / requests as f64;
+        servers as f64 * 1e6 / us_per_request
+    }
+
+    /// Least-squares fit of the linear model from `(txn_size,
+    /// items_per_sec)` measurements — how the memaslap-analog results are
+    /// turned into a model. Needs ≥ 2 distinct sizes.
+    pub fn fit(measurements: &[(usize, f64)]) -> CostModel {
+        assert!(
+            measurements.len() >= 2,
+            "need at least two measurements to fit"
+        );
+        // items/sec = n / t(n)  ⇒  t(n) = n / ips = a + b·n.
+        // Ordinary least squares on (n, t).
+        let pts: Vec<(f64, f64)> = measurements
+            .iter()
+            .map(|&(n, ips)| {
+                assert!(n > 0 && ips > 0.0, "measurements must be positive");
+                (n as f64, n as f64 * 1e6 / ips)
+            })
+            .collect();
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(
+            denom.abs() > 1e-9,
+            "need at least two distinct transaction sizes"
+        );
+        let b = (n * sxy - sx * sy) / denom;
+        let a = (sy - b * sx) / n;
+        CostModel {
+            txn_overhead_us: a.max(0.0),
+            per_item_us: b.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_shape_linear_then_saturating() {
+        let m = CostModel::PAPER_ERA;
+        // Small transactions: items/sec nearly linear in n (slope ≈
+        // 1/txn_overhead).
+        let i1 = m.items_per_sec(1);
+        let i2 = m.items_per_sec(2);
+        let i10 = m.items_per_sec(10);
+        assert!(
+            i2 / i1 > 1.8,
+            "doubling txn size should almost double items/s"
+        );
+        assert!(i10 / i1 > 6.0);
+        // Large transactions: saturates at 1e6 / per_item.
+        let sat = 1e6 / m.per_item_us;
+        assert!(m.items_per_sec(10_000) > 0.97 * sat);
+        assert!(m.items_per_sec(10_000) < sat);
+    }
+
+    #[test]
+    fn paper_era_magnitudes() {
+        let m = CostModel::PAPER_ERA;
+        let single = m.items_per_sec(1);
+        assert!(
+            (90_000.0..130_000.0).contains(&single),
+            "single-get rate {single}"
+        );
+    }
+
+    #[test]
+    fn total_time_and_throughput() {
+        let m = CostModel {
+            txn_overhead_us: 10.0,
+            per_item_us: 1.0,
+        };
+        // 2 txns of 5 items + 1 txn of 0 items (possible in histograms).
+        let hist = vec![1u64, 0, 0, 0, 0, 2];
+        assert!((m.total_time_us(&hist) - (10.0 + 2.0 * 15.0)).abs() < 1e-9);
+        // 4 requests cost 40 µs total → 10 µs/request → 1 server does
+        // 100k req/s, 4 servers do 400k.
+        let hist2 = vec![0u64, 4]; // 4 single-item txns
+        let t = m.cluster_throughput(&hist2, 4, 4);
+        assert!((t - 4.0 * 1e6 / 11.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_model() {
+        let truth = CostModel {
+            txn_overhead_us: 12.5,
+            per_item_us: 0.8,
+        };
+        let samples: Vec<(usize, f64)> = [1, 2, 4, 8, 16, 64, 256]
+            .iter()
+            .map(|&n| (n, truth.items_per_sec(n)))
+            .collect();
+        let fitted = CostModel::fit(&samples);
+        assert!((fitted.txn_overhead_us - truth.txn_overhead_us).abs() < 1e-6);
+        assert!((fitted.per_item_us - truth.per_item_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_handles_noise() {
+        let truth = CostModel {
+            txn_overhead_us: 9.0,
+            per_item_us: 0.6,
+        };
+        // ±2% deterministic "noise".
+        let samples: Vec<(usize, f64)> = [1usize, 3, 7, 20, 50, 120]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = if i % 2 == 0 { 1.02 } else { 0.98 };
+                (n, truth.items_per_sec(n) * noise)
+            })
+            .collect();
+        let fitted = CostModel::fit(&samples);
+        assert!((fitted.txn_overhead_us - 9.0).abs() < 1.5, "{fitted:?}");
+        assert!((fitted.per_item_us - 0.6).abs() < 0.2, "{fitted:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two measurements")]
+    fn fit_needs_two_points() {
+        CostModel::fit(&[(1, 1000.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct transaction sizes")]
+    fn fit_needs_distinct_sizes() {
+        CostModel::fit(&[(3, 1000.0), (3, 1100.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_item_rate_rejected() {
+        CostModel::PAPER_ERA.items_per_sec(0);
+    }
+}

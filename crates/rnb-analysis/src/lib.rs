@@ -1,0 +1,21 @@
+//! Analytics for the RnB reproduction.
+//!
+//! * [`urn`] — the closed-form urn-model results of §II-A: `W(N, M)`,
+//!   TPR/TPRPS and the scaling factor behind Fig 2.
+//! * [`montecarlo`] — the paper's "simplified simulator" (§III-F): random
+//!   placement, no memory limits, greedy (partial) covers — Figs 11–12.
+//! * [`calibration`] — the linear per-transaction/per-item cost model
+//!   fitted from micro-benchmarks (Appendix, Figs 13–14), which converts a
+//!   transaction-size histogram into a throughput estimate (Fig 3).
+//! * [`table`] — aligned text tables and CSV output for the figure
+//!   binaries in `rnb-bench`.
+
+pub mod calibration;
+pub mod montecarlo;
+pub mod stats;
+pub mod table;
+pub mod urn;
+
+pub use calibration::CostModel;
+pub use stats::RunningStats;
+pub use table::Table;

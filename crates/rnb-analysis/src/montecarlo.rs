@@ -1,0 +1,258 @@
+//! The paper's "simplified simulator" (§III-F) behind Figs 11–12.
+//!
+//! > "The simplified simulator performed Monte Carlo style simulation. It
+//! > assumed that the servers have enough memory to completely avoid
+//! > misses, and that the set of items in each request is random and
+//! > independent of the previous request."
+//!
+//! Because requests are independent and placement is uniform, item
+//! *identities* carry no information — each trial simply draws `k`
+//! distinct uniform servers per requested item and runs the greedy
+//! (partial) cover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnb_cover::{greedy_cover, CoverInstance, CoverTarget};
+
+/// Parameters of one Monte-Carlo TPR estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Cluster size N.
+    pub servers: usize,
+    /// Replicas per item k (1 = no replication).
+    pub replication: usize,
+    /// Items per request M.
+    pub request_size: usize,
+    /// Fraction of the request that must be fetched (LIMIT X; 1.0 = all).
+    pub fetch_fraction: f64,
+    /// Trials to average over.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl McConfig {
+    /// The per-request minimum item count implied by `fetch_fraction`.
+    pub fn min_items(&self) -> usize {
+        (self.fetch_fraction * self.request_size as f64).ceil() as usize
+    }
+}
+
+/// Per-trial TPR statistics under `cfg` (mean, variance, 95% CI).
+pub fn tpr_stats(cfg: &McConfig) -> crate::stats::RunningStats {
+    assert!(cfg.trials > 0, "need at least one trial");
+    assert!(cfg.servers >= 1 && cfg.request_size >= 1);
+    assert!(
+        (0.0..=1.0).contains(&cfg.fetch_fraction),
+        "fetch_fraction {} out of [0,1]",
+        cfg.fetch_fraction
+    );
+    let k = cfg.replication.min(cfg.servers);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let target = CoverTarget::AtLeast(cfg.min_items());
+
+    let mut stats = crate::stats::RunningStats::new();
+    let mut scratch: Vec<u32> = Vec::with_capacity(k);
+    for _ in 0..cfg.trials {
+        let candidates: Vec<Vec<u32>> = (0..cfg.request_size)
+            .map(|_| {
+                scratch.clear();
+                while scratch.len() < k {
+                    let s = rng.random_range(0..cfg.servers as u32);
+                    if !scratch.contains(&s) {
+                        scratch.push(s);
+                    }
+                }
+                scratch.clone()
+            })
+            .collect();
+        let inst = CoverInstance::from_item_candidates(&candidates);
+        stats.push(greedy_cover(&inst, target).picks.len() as f64);
+    }
+    stats
+}
+
+/// Estimate the mean TPR under `cfg`.
+pub fn average_tpr(cfg: &McConfig) -> f64 {
+    tpr_stats(cfg).mean()
+}
+
+/// Estimate the mean *fraction of the request fetched* when the client
+/// may spend at most `budget` transactions — the paper's second LIMIT
+/// form ("fetch as many items as possible … within X milliseconds",
+/// §III-F), with the deadline expressed as a transaction budget.
+pub fn average_coverage_at_budget(cfg: &McConfig, budget: usize) -> f64 {
+    assert!(cfg.trials > 0, "need at least one trial");
+    let k = cfg.replication.min(cfg.servers);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let target = CoverTarget::MaxPicks(budget);
+    let mut covered = 0usize;
+    let mut scratch: Vec<u32> = Vec::with_capacity(k);
+    for _ in 0..cfg.trials {
+        let candidates: Vec<Vec<u32>> = (0..cfg.request_size)
+            .map(|_| {
+                scratch.clear();
+                while scratch.len() < k {
+                    let s = rng.random_range(0..cfg.servers as u32);
+                    if !scratch.contains(&s) {
+                        scratch.push(s);
+                    }
+                }
+                scratch.clone()
+            })
+            .collect();
+        let inst = CoverInstance::from_item_candidates(&candidates);
+        covered += greedy_cover(&inst, target).covered;
+    }
+    covered as f64 / (cfg.trials * cfg.request_size) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::urn;
+
+    fn cfg(servers: usize, replication: usize, m: usize, frac: f64) -> McConfig {
+        McConfig {
+            servers,
+            replication,
+            request_size: m,
+            fetch_fraction: frac,
+            trials: 400,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn no_replication_full_fetch_matches_urn_model() {
+        // k=1, fetch all: TPR is the urn-model occupancy N·W(N,M).
+        for (n, m) in [(16usize, 40usize), (8, 10), (32, 100)] {
+            let mc = average_tpr(&cfg(n, 1, m, 1.0));
+            let analytic = urn::tpr(n, m);
+            assert!(
+                (mc - analytic).abs() / analytic < 0.05,
+                "N={n} M={m}: mc {mc} vs urn {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_reduces_tpr() {
+        let t1 = average_tpr(&cfg(16, 1, 50, 1.0));
+        let t2 = average_tpr(&cfg(16, 2, 50, 1.0));
+        let t5 = average_tpr(&cfg(16, 5, 50, 1.0));
+        assert!(t2 < t1, "{t2} !< {t1}");
+        assert!(t5 < t2, "{t5} !< {t2}");
+        // Paper (§III-F): "Even with only two replicas, we can reduce the
+        // number of transactions down to around 65% of the TPR without
+        // RnB" — for LIMIT workloads; full-fetch gains are a bit smaller.
+        // Sanity-bound the 5-replica gain instead:
+        assert!(
+            t5 < 0.6 * t1,
+            "5 replicas should cut TPR deeply: {t5} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn limit_reduces_tpr_even_without_replication() {
+        // Fig 11's observation.
+        let full = average_tpr(&cfg(16, 1, 50, 1.0));
+        let p95 = average_tpr(&cfg(16, 1, 50, 0.95));
+        let p50 = average_tpr(&cfg(16, 1, 50, 0.5));
+        assert!(p95 < full, "{p95} !< {full}");
+        assert!(p50 < p95, "{p50} !< {p95}");
+    }
+
+    #[test]
+    fn limit_and_replication_compound() {
+        // Fig 12: replication on top of LIMIT gives a much bigger win.
+        let no_rep = average_tpr(&cfg(16, 1, 50, 0.9));
+        let five = average_tpr(&cfg(16, 5, 50, 0.9));
+        assert!(
+            five < 0.45 * no_rep,
+            "5 replicas + LIMIT should cut deep: {five} vs {no_rep}"
+        );
+    }
+
+    #[test]
+    fn replication_capped_at_servers() {
+        // k > N degrades to k = N and must not panic.
+        let t = average_tpr(&McConfig {
+            trials: 50,
+            ..cfg(4, 10, 20, 1.0)
+        });
+        assert!(t >= 1.0);
+    }
+
+    #[test]
+    fn single_server_tpr_is_one() {
+        let t = average_tpr(&cfg(1, 1, 30, 1.0));
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = average_tpr(&cfg(16, 3, 40, 0.9));
+        let b = average_tpr(&cfg(16, 3, 40, 0.9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn urn_model_inside_confidence_interval() {
+        // The analytic value must fall within the MC estimate's CI
+        // (allowing 3x the 95% half-width for a deterministic test).
+        let c = McConfig {
+            trials: 1500,
+            ..cfg(16, 1, 40, 1.0)
+        };
+        let stats = tpr_stats(&c);
+        let analytic = urn::tpr(16, 40);
+        assert!(
+            (stats.mean() - analytic).abs() <= 3.0 * stats.ci95().max(1e-9),
+            "urn {analytic} outside MC CI: {} ± {}",
+            stats.mean(),
+            stats.ci95()
+        );
+        assert!(
+            stats.ci95() > 0.0 && stats.ci95() < 0.2,
+            "CI width {}",
+            stats.ci95()
+        );
+    }
+
+    #[test]
+    fn coverage_at_budget_monotone_and_bounded() {
+        let c = cfg(16, 3, 50, 1.0);
+        let mut last = 0.0;
+        for budget in 0..8 {
+            let cov = average_coverage_at_budget(&c, budget);
+            assert!((0.0..=1.0).contains(&cov));
+            assert!(cov >= last - 1e-12, "coverage dropped as budget rose");
+            last = cov;
+        }
+        assert_eq!(average_coverage_at_budget(&c, 0), 0.0);
+        assert!((average_coverage_at_budget(&c, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_buys_coverage_per_transaction() {
+        // The deadline form's payoff: at a fixed budget, more replicas
+        // mean each transaction can carry more of the request.
+        let at = |k: usize| average_coverage_at_budget(&cfg(16, k, 50, 1.0), 4);
+        let c1 = at(1);
+        let c4 = at(4);
+        assert!(c4 > 1.25 * c1, "4 replicas at budget 4: {c4} vs {c1}");
+    }
+
+    #[test]
+    fn zero_fraction_is_zero_tpr() {
+        let t = average_tpr(&cfg(16, 2, 30, 0.0));
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_fraction_rejected() {
+        average_tpr(&cfg(4, 1, 5, 1.5));
+    }
+}

@@ -1,0 +1,158 @@
+//! Streaming summary statistics (Welford's algorithm) and confidence
+//! intervals for the Monte-Carlo estimators.
+
+/// Running mean/variance accumulator — numerically stable one-pass
+/// (Welford).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (±1.96·SEM; fine for the hundreds-to-thousands of trials the
+    /// Monte-Carlo figures use).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Merge another accumulator (parallel Welford combination).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(3.5);
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci95() < small.ci95());
+    }
+
+    proptest! {
+        /// Welford matches the two-pass formulas.
+        #[test]
+        fn matches_two_pass(xs in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+            let mut s = RunningStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+            prop_assert!((s.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+        }
+
+        /// Merging two accumulators equals accumulating everything.
+        #[test]
+        fn merge_equals_combined(
+            a in proptest::collection::vec(-100f64..100.0, 0..60),
+            b in proptest::collection::vec(-100f64..100.0, 0..60),
+        ) {
+            let mut sa = RunningStats::new();
+            let mut sb = RunningStats::new();
+            let mut all = RunningStats::new();
+            for &x in &a { sa.push(x); all.push(x); }
+            for &x in &b { sb.push(x); all.push(x); }
+            sa.merge(&sb);
+            prop_assert_eq!(sa.count(), all.count());
+            prop_assert!((sa.mean() - all.mean()).abs() < 1e-9);
+            prop_assert!((sa.variance() - all.variance()).abs() < 1e-6);
+        }
+    }
+}

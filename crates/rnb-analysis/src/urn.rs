@@ -1,0 +1,159 @@
+//! Urn-model analysis of the multi-get hole (§II-A).
+//!
+//! Throwing `M` balls (requested items) into `N` urns (servers) uniformly:
+//! the probability an urn is non-empty is `W(N, M) = 1 − (1 − 1/N)^M`.
+//! The expected number of servers contacted (TPR) is `N·W(N, M)`; TPRPS is
+//! `W(N, M)` itself; and the benefit of doubling the cluster is the TPRPS
+//! scaling factor `W(N, M) / W(2N, M)` (2 = ideal, →1 = useless).
+
+/// `W(N, M)`: probability a given server receives at least one of `M`
+/// uniformly spread items.
+///
+/// ```
+/// use rnb_analysis::urn;
+/// // A 16-server cluster serving 50-item requests touches almost
+/// // every server on every request:
+/// assert!(urn::w(16, 50) > 0.95);
+/// // …so doubling it to 32 servers buys well under 1.5x throughput:
+/// assert!(urn::doubling_scaling_factor(16, 50) < 1.5);
+/// ```
+pub fn w(servers: usize, items: usize) -> f64 {
+    assert!(servers >= 1, "need at least one server");
+    1.0 - (1.0 - 1.0 / servers as f64).powi(items as i32)
+}
+
+/// Expected transactions per request for `M` items over `N` servers with
+/// no replication.
+pub fn tpr(servers: usize, items: usize) -> f64 {
+    servers as f64 * w(servers, items)
+}
+
+/// Expected transactions per request per server.
+pub fn tprps(servers: usize, items: usize) -> f64 {
+    w(servers, items)
+}
+
+/// TPRPS scaling factor when growing from `servers` to `servers_after`
+/// (the paper plots the doubling case). Ideal scaling gives
+/// `servers_after / servers`; the multi-get hole pushes it toward 1.
+pub fn tprps_scaling(servers: usize, servers_after: usize, items: usize) -> f64 {
+    w(servers, items) / w(servers_after, items)
+}
+
+/// The Fig 2 quantity: scaling factor for doubling `servers`.
+pub fn doubling_scaling_factor(servers: usize, items: usize) -> f64 {
+    tprps_scaling(servers, 2 * servers, items)
+}
+
+/// Throughput scaling factor of a system of `b` servers relative to one
+/// of `a` servers (per-server capacity fixed): each system's throughput is
+/// `servers / TPR` in request units, so the factor is
+/// `(b / tpr(b, m)) / (a / tpr(a, m)) = tprps(a, m) / tprps(b, m) · (b/a)`…
+/// which reduces to the TPRPS ratio when `b = a` — exposed directly:
+pub fn throughput_scaling(servers_a: usize, servers_b: usize, items: usize) -> f64 {
+    (servers_b as f64 / tpr(servers_b, items)) / (servers_a as f64 / tpr(servers_a, items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn w_known_values() {
+        // Single server always contacted.
+        assert!((w(1, 5) - 1.0).abs() < 1e-12);
+        // One item: probability 1/N.
+        assert!((w(4, 1) - 0.25).abs() < 1e-12);
+        // Zero items: never contacted.
+        assert_eq!(w(7, 0), 0.0);
+        // Two servers, two items: 1 - (1/2)^2 = 0.75.
+        assert!((w(2, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_item_scales_ideally() {
+        // Paper: W(N,1)/W(2N,1) = 2 exactly.
+        for n in [1usize, 2, 8, 64, 1024] {
+            assert!((doubling_scaling_factor(n, 1) - 2.0).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn equal_servers_and_items_gain_about_fifty_percent() {
+        // Paper: "Even when the two numbers are equal, doubling the number
+        // of servers only increases throughput by some 50%." As N = M
+        // grows, the factor tends to (1-e^-1)/(1-e^-1/2) ≈ 1.606.
+        let f = doubling_scaling_factor(50, 50);
+        assert!((1.45..1.75).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn many_items_scale_terribly() {
+        // N << M: nearly every server is hit before and after doubling.
+        let f = doubling_scaling_factor(8, 1000);
+        assert!(f < 1.01, "factor {f} should be ≈ 1 (no benefit)");
+    }
+
+    #[test]
+    fn tpr_matches_expected_occupancy() {
+        // 100 items on 10 servers: almost every server contacted.
+        let t = tpr(10, 100);
+        assert!(t > 9.9 && t <= 10.0);
+        // M = 1 → exactly one transaction.
+        assert!((tpr(10, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_scaling_examples() {
+        // One item: throughput scales linearly with servers.
+        assert!((throughput_scaling(4, 8, 1) - 2.0).abs() < 1e-9);
+        // Huge requests: TPR ≈ N on both sides → no throughput gain.
+        let f = throughput_scaling(8, 16, 10_000);
+        assert!((f - 1.0).abs() < 0.01, "factor {f}");
+    }
+
+    #[test]
+    fn tpr_monte_carlo_agreement() {
+        // The closed form matches a direct balls-in-urns simulation.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let (n, m, trials) = (16usize, 40usize, 4000);
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut hit = vec![false; n];
+            for _ in 0..m {
+                hit[rng.random_range(0..n)] = true;
+            }
+            total += hit.iter().filter(|&&h| h).count();
+        }
+        let simulated = total as f64 / trials as f64;
+        let analytic = tpr(n, m);
+        assert!(
+            (simulated - analytic).abs() < 0.15,
+            "simulated {simulated} vs analytic {analytic}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn w_is_probability_and_monotone(n in 1usize..500, m in 0usize..500) {
+            let v = w(n, m);
+            prop_assert!((0.0..=1.0).contains(&v));
+            // More items → more likely contacted.
+            prop_assert!(w(n, m + 1) >= v - 1e-12);
+            // More servers → less likely a *given* server is contacted.
+            if m >= 1 {
+                prop_assert!(w(n + 1, m) <= v + 1e-12);
+            }
+        }
+
+        #[test]
+        fn doubling_factor_bounds(n in 1usize..200, m in 1usize..200) {
+            let f = doubling_scaling_factor(n, m);
+            prop_assert!(f >= 1.0 - 1e-12, "never hurts: {f}");
+            prop_assert!(f <= 2.0 + 1e-12, "never better than ideal: {f}");
+        }
+    }
+}

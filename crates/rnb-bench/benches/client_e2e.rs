@@ -1,0 +1,67 @@
+//! End-to-end client benchmark: full RnB multi-gets against a real
+//! loopback fleet, RnB (k=4) vs the plain 1-copy client — the deployed
+//! counterpart of the simulator numbers, including socket costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rnb_client::{RnbClient, RnbClientConfig};
+use rnb_store::{Store, StoreServer};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_multi_get(c: &mut Criterion) {
+    let servers: Vec<StoreServer> = (0..8)
+        .map(|_| StoreServer::start(Arc::new(Store::new(32 << 20))).expect("server"))
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+
+    let mut group = c.benchmark_group("client/multi_get");
+    group.sample_size(40);
+    for (name, replication) in [("plain_k1", 1usize), ("rnb_k4", 4)] {
+        let mut client =
+            RnbClient::connect(&addrs, RnbClientConfig::new(replication)).expect("client");
+        for item in 0..2000u64 {
+            client.set(item, b"ten-bytes!").expect("set");
+        }
+        for &m in &[10usize, 30] {
+            group.throughput(Throughput::Elements(m as u64));
+            group.bench_with_input(BenchmarkId::new(name, format!("m{m}")), &m, |b, &m| {
+                let mut r = 0u64;
+                b.iter(|| {
+                    let request: Vec<u64> =
+                        (0..m as u64).map(|i| (r * 61 + i * 37) % 2000).collect();
+                    r += 1;
+                    let values = client.multi_get(black_box(&request)).expect("get");
+                    black_box(values.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let servers: Vec<StoreServer> = (0..8)
+        .map(|_| StoreServer::start(Arc::new(Store::new(32 << 20))).expect("server"))
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+    let mut group = c.benchmark_group("client/set");
+    group.sample_size(40);
+    for (name, replication) in [("k1", 1usize), ("k4", 4)] {
+        let mut client =
+            RnbClient::connect(&addrs, RnbClientConfig::new(replication)).expect("client");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                client
+                    .set(black_box(i % 10_000), b"ten-bytes!")
+                    .expect("set");
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_get, bench_writes);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Cover-solver ablation: the paper claims its greedy bit-set heuristic
+//! finds covers "using a relatively small number of CPU cycles" and is
+//! near-optimal for RnB-shaped instances. This bench measures greedy vs
+//! lazy-greedy vs exact on such instances, across request sizes and
+//! replication levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnb_cover::{greedy_cover, lazy_greedy_cover, solve_exact, CoverInstance, CoverTarget};
+use std::hint::black_box;
+
+/// An RnB-shaped instance: `m` items, each with `k` distinct uniform
+/// replicas among `n` servers.
+fn rnb_instance(n: usize, m: usize, k: usize, rng: &mut StdRng) -> CoverInstance {
+    let candidates: Vec<Vec<u32>> = (0..m)
+        .map(|_| {
+            let mut servers = Vec::with_capacity(k);
+            while servers.len() < k.min(n) {
+                let s = rng.random_range(0..n as u32);
+                if !servers.contains(&s) {
+                    servers.push(s);
+                }
+            }
+            servers
+        })
+        .collect();
+    CoverInstance::from_item_candidates(&candidates)
+}
+
+fn bench_greedy_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover/greedy");
+    for &(n, m, k) in &[
+        (16usize, 12usize, 3usize),
+        (16, 50, 3),
+        (64, 100, 4),
+        (256, 500, 4),
+    ] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let instances: Vec<CoverInstance> =
+            (0..32).map(|_| rnb_instance(n, m, k, &mut rng)).collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(
+            BenchmarkId::new("plain", format!("n{n}_m{m}_k{k}")),
+            &instances,
+            |b, insts| {
+                let mut i = 0;
+                b.iter(|| {
+                    let sol = greedy_cover(black_box(&insts[i % insts.len()]), CoverTarget::Full);
+                    i += 1;
+                    black_box(sol.picks.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy", format!("n{n}_m{m}_k{k}")),
+            &instances,
+            |b, insts| {
+                let mut i = 0;
+                b.iter(|| {
+                    let sol =
+                        lazy_greedy_cover(black_box(&insts[i % insts.len()]), CoverTarget::Full);
+                    i += 1;
+                    black_box(sol.picks.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover/exact");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let instances: Vec<CoverInstance> =
+        (0..16).map(|_| rnb_instance(16, 20, 3, &mut rng)).collect();
+    group.bench_function("exact_n16_m20_k3", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let sol = solve_exact(black_box(&instances[i % instances.len()])).unwrap();
+            i += 1;
+            black_box(sol.picks.len())
+        })
+    });
+    group.bench_function("greedy_n16_m20_k3", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let sol = greedy_cover(
+                black_box(&instances[i % instances.len()]),
+                CoverTarget::Full,
+            );
+            i += 1;
+            black_box(sol.picks.len())
+        })
+    });
+    group.finish();
+
+    // Report approximation quality alongside the timing numbers.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut g_total = 0usize;
+    let mut e_total = 0usize;
+    for _ in 0..100 {
+        let inst = rnb_instance(16, 20, 3, &mut rng);
+        g_total += greedy_cover(&inst, CoverTarget::Full).picks.len();
+        e_total += solve_exact(&inst).unwrap().picks.len();
+    }
+    println!(
+        "[cover quality] greedy/exact pick ratio over 100 RnB instances: {:.4}",
+        g_total as f64 / e_total as f64
+    );
+}
+
+fn bench_partial_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover/partial");
+    let mut rng = StdRng::seed_from_u64(4);
+    let instances: Vec<CoverInstance> = (0..32)
+        .map(|_| rnb_instance(32, 100, 3, &mut rng))
+        .collect();
+    for &frac in &[1.0f64, 0.95, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("limit", format!("{:.0}%", frac * 100.0)),
+            &frac,
+            |b, &frac| {
+                let target = CoverTarget::AtLeast((100.0 * frac).ceil() as usize);
+                let mut i = 0;
+                b.iter(|| {
+                    let sol = greedy_cover(black_box(&instances[i % instances.len()]), target);
+                    i += 1;
+                    black_box(sol.picks.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_variants,
+    bench_exact_vs_greedy,
+    bench_partial_cover
+);
+criterion_main!(benches);

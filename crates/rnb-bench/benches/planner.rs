@@ -1,0 +1,88 @@
+//! Client-side bundling cost: the paper notes "RnB does create some extra
+//! work for the front-end servers". This bench quantifies it — full plan
+//! and LIMIT plan cost per request across request sizes and replication
+//! levels, against the no-replication group-by-server baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rnb_core::{Bundler, PlacementStrategy, RnbConfig};
+use std::hint::black_box;
+
+fn requests(m: usize, count: usize) -> Vec<Vec<u64>> {
+    // Deterministic pseudo-random requests; identity doesn't matter for
+    // planner cost.
+    (0..count as u64)
+        .map(|r| {
+            (0..m as u64)
+                .map(|i| {
+                    r.wrapping_mul(6364136223846793005)
+                        .wrapping_add(i * 2654435761)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/plan");
+    for &m in &[10usize, 50, 200] {
+        let reqs = requests(m, 64);
+        for &k in &[1usize, 2, 4] {
+            let bundler = Bundler::from_config(&RnbConfig::new(16, k));
+            group.throughput(Throughput::Elements(m as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), format!("m{m}")),
+                &bundler,
+                |b, bundler| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let plan = bundler.plan(black_box(&reqs[i % reqs.len()]));
+                        i += 1;
+                        black_box(plan.tpr())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_plan_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/limit");
+    let reqs = requests(100, 64);
+    let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    for &limit in &[100usize, 90, 50] {
+        group.bench_with_input(BenchmarkId::new("min_items", limit), &limit, |b, &limit| {
+            let mut i = 0;
+            b.iter(|| {
+                let plan = bundler.plan_limit(black_box(&reqs[i % reqs.len()]), limit);
+                i += 1;
+                black_box(plan.tpr())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_group_by_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/baseline");
+    let reqs = requests(50, 64);
+    let bundler = Bundler::new(PlacementStrategy::no_replication(16, 7));
+    group.throughput(Throughput::Elements(50));
+    group.bench_function("no_replication_m50", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let plan = bundler.plan(black_box(&reqs[i % reqs.len()]));
+            i += 1;
+            black_box(plan.tpr())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan,
+    bench_plan_limit,
+    bench_baseline_group_by_server
+);
+criterion_main!(benches);

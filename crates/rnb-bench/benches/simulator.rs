@@ -1,0 +1,41 @@
+//! Simulator throughput: requests simulated per second for the basic and
+//! enhanced configurations — what bounds the scale of the Fig 8–10
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rnb_sim::{SimCluster, SimConfig};
+use rnb_workload::{EgoRequests, RequestStream};
+use std::hint::black_box;
+
+fn bench_execute(c: &mut Criterion) {
+    let graph = rnb_graph::generate::powerlaw_graph(10_000, 1.75, 1, 500, 115_000, 9);
+    let mut stream = EgoRequests::new(&graph, 9);
+    let requests: Vec<Vec<u64>> = stream.take_requests(512);
+
+    let mut group = c.benchmark_group("simulator/execute");
+    group.throughput(Throughput::Elements(1));
+
+    for (name, config) in [
+        ("basic_k1", SimConfig::basic(16, 1)),
+        ("basic_k4", SimConfig::basic(16, 4)),
+        ("enhanced_k4_mem2.5", SimConfig::enhanced(16, 4, 2.5)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            let mut cluster = SimCluster::new(config.clone(), graph.num_nodes());
+            // Warm the caches so the enhanced config measures steady state.
+            for req in &requests {
+                cluster.execute(req);
+            }
+            let mut i = 0;
+            b.iter(|| {
+                let out = cluster.execute(black_box(&requests[i % requests.len()]));
+                i += 1;
+                black_box(out.total_txns())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute);
+criterion_main!(benches);

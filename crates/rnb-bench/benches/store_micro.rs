@@ -1,0 +1,69 @@
+//! In-process store micro-benchmark: the Fig 13 shape without socket
+//! noise — per-transaction vs per-item cost of `get_multi` across
+//! transaction sizes (the TCP version is the `fig13`/`fig14` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rnb_store::Store;
+use std::hint::black_box;
+
+fn bench_get_multi(c: &mut Criterion) {
+    let store = Store::new(64 << 20);
+    let keys: Vec<Vec<u8>> = (0..10_000)
+        .map(|i| format!("key-{i:06}").into_bytes())
+        .collect();
+    for k in &keys {
+        store.set(k, b"0123456789", 0, false);
+    }
+
+    let mut group = c.benchmark_group("store/get_multi");
+    for &txn_size in &[1usize, 8, 64, 256] {
+        group.throughput(Throughput::Elements(txn_size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(txn_size), &txn_size, |b, &n| {
+            let mut base = 0usize;
+            b.iter(|| {
+                let refs: Vec<&[u8]> = (0..n)
+                    .map(|j| keys[(base + j) % keys.len()].as_slice())
+                    .collect();
+                base = base.wrapping_add(n * 7 + 1);
+                let got = store.get_multi(black_box(&refs));
+                black_box(got.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_set(c: &mut Criterion) {
+    let store = Store::new(64 << 20);
+    let mut group = c.benchmark_group("store/set");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("set_10b", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("set-key-{}", i % 50_000);
+            i += 1;
+            black_box(store.set(key.as_bytes(), b"0123456789", 0, false))
+        })
+    });
+    group.finish();
+}
+
+fn bench_eviction_pressure(c: &mut Criterion) {
+    // A store sized to hold only a fraction of the keyspace: every set
+    // evicts — the overbooking steady state.
+    let store = Store::new(256 << 10);
+    let mut group = c.benchmark_group("store/eviction");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("set_under_pressure", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("evict-key-{i}");
+            i += 1;
+            black_box(store.set(key.as_bytes(), b"0123456789", 0, false))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_get_multi, bench_set, bench_eviction_pressure);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Extension ablation: how community structure (triadic clustering)
+//! drives the request-locality effects of §III-C1 and §III-E.
+//!
+//! The paper's Fig 9 discussion argues merging unrelated requests dilutes
+//! the "self organization" that same-request affinity gives the per-server
+//! LRUs. A configuration-model graph has no clustering, so that dilution
+//! is invisible there; this ablation sweeps community mixing and reports
+//! the RnB gain for single vs merged-2 request handling on each graph.
+
+use rnb_analysis::table::{f3, pct};
+use rnb_analysis::Table;
+use rnb_bench::{emit, scaled, FIG_SEED};
+use rnb_graph::community::{mean_friendset_overlap, CommunitySpec};
+use rnb_sim::{run_experiment, ExperimentConfig, SimConfig};
+use rnb_workload::EgoRequests;
+
+fn main() {
+    let scale = if rnb_bench::quick() { 40 } else { 10 };
+    let warmup = scaled(25_000, 1_500);
+    let measure = scaled(6_000, 800);
+
+    let mut table = Table::new(
+        "Ext: RnB gain vs community mixing, single vs merged-2 (16 servers, k=4, mem 2.0x)",
+        &[
+            "mixing",
+            "friendset_overlap",
+            "gain_single",
+            "gain_merged2",
+            "merge_dilution",
+        ],
+    );
+
+    for &mixing in &[0.05f64, 0.2, 0.5, 1.0] {
+        let spec = CommunitySpec::slashdot_like(scale, mixing);
+        let graph = spec.generate(FIG_SEED);
+        let overlap = mean_friendset_overlap(&graph, 4000, FIG_SEED);
+
+        let gain = |merge: usize| -> f64 {
+            let tpr_of = |replication: usize| {
+                let sim = SimConfig::enhanced(16, replication, 2.0).with_seed(FIG_SEED);
+                let cfg = ExperimentConfig::new(sim, warmup, measure).with_merge_window(merge);
+                let mut stream = EgoRequests::new(&graph, FIG_SEED ^ merge as u64);
+                run_experiment(&cfg, graph.num_nodes(), &mut stream).tpr()
+            };
+            1.0 - tpr_of(4) / tpr_of(1)
+        };
+
+        let single = gain(1);
+        let merged = gain(2);
+        table.row(&[
+            format!("{mixing:.2}"),
+            f3(overlap),
+            pct(single),
+            pct(merged),
+            // positive = merging dilutes the replica gain (paper's claim)
+            pct(single - merged),
+        ]);
+    }
+    emit(&table, "ext_locality");
+
+    println!();
+    println!(
+        "reading guide: low mixing = strong communities = overlapping ego requests.\n\
+         The paper's Fig 9 observation — merging lowers the relative gain from\n\
+         replicas — appears as positive merge_dilution where friend sets overlap,\n\
+         and vanishes (or inverts) on clustering-free graphs (mixing 1.0), which\n\
+         is why the headline Fig 9 run on a configuration-model graph shows\n\
+         near-zero dilution (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,115 @@
+//! Extension experiment: TCP vs UDP for the micro-benchmark transport
+//! (Appendix).
+//!
+//! The paper chose TCP because memaslap over UDP "suffered, as expected,
+//! from considerable packet loss issues when attempting to communicate
+//! with the server as fast as possible over a protocol without flow
+//! control." We reproduce the comparison: the same get workload run over
+//! TCP (backpressured by the socket) and over UDP in flood mode
+//! (fire-and-forget sends, responses gathered with a timeout), reporting
+//! effective items/sec and response loss.
+
+use rnb_analysis::table::pct;
+use rnb_analysis::Table;
+use rnb_bench::emit;
+use rnb_store::{loadgen, LoadSpec, Store, StoreServer, UdpStoreClient, UdpStoreServer};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let secs = if rnb_bench::quick() { 0.2 } else { 1.0 };
+    let keyspace = 4000usize;
+
+    let store = Arc::new(Store::new(64 << 20));
+    let tcp = StoreServer::start(Arc::clone(&store)).expect("tcp server");
+    let udp = UdpStoreServer::start(Arc::clone(&store)).expect("udp server");
+    loadgen::populate(tcp.addr(), keyspace, 10).expect("populate");
+
+    let mut table = Table::new(
+        "Ext: TCP vs flooded UDP get transport (Appendix)",
+        &[
+            "txn_items",
+            "tcp_items_per_sec",
+            "udp_items_per_sec",
+            "udp_response_loss",
+        ],
+    );
+    for &txn_size in &[1usize, 8, 32] {
+        // TCP reference: the loadgen's request/response loop.
+        let spec = LoadSpec {
+            clients: 1,
+            txn_size,
+            keyspace,
+            value_len: 10,
+            set_every_items: 0,
+            duration: Duration::from_secs_f64(secs),
+        };
+        let tcp_report = loadgen::run_load(tcp.addr(), &spec).expect("tcp load");
+
+        // UDP flood: keep many requests in flight with no flow control.
+        let (udp_items, loss) = udp_flood(udp.addr(), keyspace, txn_size, secs);
+
+        table.row(&[
+            txn_size.to_string(),
+            format!("{:.0}", tcp_report.items_per_sec()),
+            format!("{udp_items:.0}"),
+            pct(loss),
+        ]);
+    }
+    emit(&table, "ext_udp");
+
+    println!();
+    println!(
+        "reading guide: without flow control the flooded UDP sender outruns the\n\
+         server and the socket buffers; responses (or requests) are dropped and\n\
+         effective goodput collapses while TCP backpressures to the server's\n\
+         actual capacity — the Appendix's reason for benchmarking over TCP."
+    );
+}
+
+/// Flood gets over UDP for `secs`, windowless: send continuously, drain
+/// whatever responses arrive, count losses at the end. Returns
+/// (items/sec successfully fetched, response loss fraction).
+fn udp_flood(
+    addr: std::net::SocketAddr,
+    keyspace: usize,
+    txn_size: usize,
+    secs: f64,
+) -> (f64, f64) {
+    let mut client = UdpStoreClient::connect(addr, Duration::from_millis(1)).expect("udp client");
+    client.set_nonblocking().expect("nonblocking");
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut sent = 0u64;
+    let mut responses: u64 = 0;
+    let mut items = 0u64;
+    let mut base = 0usize;
+    let drain = |client: &mut UdpStoreClient, items: &mut u64, responses: &mut u64| {
+        while let Ok(Some((_, _, _, body))) = client.recv_frame() {
+            *items += body.windows(6).filter(|w| w == b"VALUE ").count() as u64;
+            // One END per completed response (responses longer than one
+            // frame put END in their last frame).
+            *responses += body.windows(5).filter(|w| w == b"END\r\n").count() as u64;
+        }
+    };
+    while Instant::now() < deadline {
+        // Burst of sends with no pacing (the "as fast as possible" mode).
+        for _ in 0..64 {
+            let keys: Vec<Vec<u8>> = (0..txn_size)
+                .map(|j| loadgen::key_of((base + j) % keyspace))
+                .collect();
+            base = base.wrapping_add(txn_size * 7 + 1);
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            if client.send_get(&refs).is_ok() {
+                sent += 1;
+            }
+        }
+        drain(&mut client, &mut items, &mut responses);
+    }
+    // Give the server a grace window to finish the backlog, then drain.
+    std::thread::sleep(Duration::from_millis(200));
+    drain(&mut client, &mut items, &mut responses);
+    let elapsed = start.elapsed().as_secs_f64();
+    let loss = 1.0 - (responses as f64 / sent.max(1) as f64).min(1.0);
+    (items as f64 / elapsed, loss)
+}

@@ -1,0 +1,61 @@
+//! Figure 8: reduction in TPR (relative to no replication) vs the
+//! relative amount of memory, for logical replication levels 1–4 with all
+//! enhancements (overbooking + distinguished copies + hitchhiking).
+//! 16 servers, Slashdot-like ego requests. 1.0 on the memory axis is
+//! exactly one copy of the data.
+
+use rnb_analysis::table::{f3, pct};
+use rnb_analysis::Table;
+use rnb_bench::{emit, memory_sweep_grid, scaled, FIG_SEED};
+
+fn main() {
+    let spec = if rnb_bench::quick() {
+        rnb_graph::SLASHDOT.scaled_down(20)
+    } else {
+        rnb_graph::SLASHDOT.scaled_down(4)
+    };
+    // scaled_down(4) keeps the degree distribution but makes the cache
+    // warm-up tractable; memory factors are relative so the curves match.
+    let graph = spec.generate(FIG_SEED);
+    let servers = 16usize;
+    let warmup = scaled(30_000, 2_000);
+    let measure = scaled(8_000, 1_000);
+
+    let factors = [1.0f64, 1.25, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+    let grid = memory_sweep_grid(
+        &graph,
+        servers,
+        &[1, 2, 3, 4],
+        &factors,
+        1,
+        warmup,
+        measure,
+        FIG_SEED,
+    );
+
+    // Baseline: no replication. k=1 uses only the pinned distinguished
+    // copies, so its TPR is memory-independent — take it from the grid so
+    // the normalisation shares the exact measurement window.
+    let base = grid[0][0].tpr();
+    let mut table = Table::new(
+        "Fig 8: TPR reduction vs relative memory (16 servers, all enhancements)",
+        &["memory", "k=1", "k=2", "k=3", "k=4"],
+    );
+    for (fi, &factor) in factors.iter().enumerate() {
+        let mut row = vec![format!("{factor:.2}")];
+        for m in &grid[fi] {
+            row.push(pct(1.0 - m.tpr() / base));
+        }
+        table.row(&row);
+    }
+    emit(&table, "fig08");
+
+    println!();
+    println!("baseline (no replication) TPR = {}", f3(base));
+    println!(
+        "paper checkpoints: ~50% TPR reduction needs only ~2.5x memory (vs 4x for\n\
+         trivial replication, Fig 6); a second copy you already keep for disaster\n\
+         recovery (memory 2.0) is worth ~25% for free; excessive overbooking at\n\
+         low memory can *increase* TPR (k=4 at memory 1.0)."
+    );
+}

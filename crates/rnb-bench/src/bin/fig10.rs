@@ -1,0 +1,57 @@
+//! Figure 10: absolute TPR vs available memory, when merging two requests
+//! (top block) and when handling single requests (bottom block), for
+//! logical replication levels 1–4, 16 servers.
+//!
+//! The paper's point: merged TPR per *merged* request is higher than a
+//! single request's, but serves two user requests — so the combination of
+//! merging and RnB is beneficial even though each technique's relative
+//! gain shrinks.
+
+use rnb_analysis::table::f3;
+use rnb_analysis::Table;
+use rnb_bench::{emit, memory_sweep_grid, scaled, FIG_SEED};
+
+fn main() {
+    let spec = if rnb_bench::quick() {
+        rnb_graph::SLASHDOT.scaled_down(20)
+    } else {
+        rnb_graph::SLASHDOT.scaled_down(4)
+    };
+    let graph = spec.generate(FIG_SEED);
+    let servers = 16usize;
+    let warmup = scaled(30_000, 2_000);
+    let measure = scaled(8_000, 1_000);
+
+    let factors = [1.0f64, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+    let mut table = Table::new(
+        "Fig 10: absolute TPR vs memory (16 servers; merge=2 on top, single below)",
+        &["mode", "memory", "k=1", "k=2", "k=3", "k=4"],
+    );
+    for (mode, merge) in [("merged2", 2usize), ("single", 1usize)] {
+        let grid = memory_sweep_grid(
+            &graph,
+            servers,
+            &[1, 2, 3, 4],
+            &factors,
+            merge,
+            warmup,
+            measure,
+            FIG_SEED,
+        );
+        for (fi, &factor) in factors.iter().enumerate() {
+            let mut row = vec![mode.to_string(), format!("{factor:.2}")];
+            for m in &grid[fi] {
+                row.push(f3(m.tpr()));
+            }
+            table.row(&row);
+        }
+    }
+    emit(&table, "fig10");
+
+    println!();
+    println!(
+        "read top rows per merged request (= 2 user requests): merged TPR / 2 is\n\
+         below the single-request TPR at every memory level — merging + RnB\n\
+         combine beneficially (paper Fig 10)."
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 13: micro-benchmark — average items fetched per second from one
+//! store server vs the number of items in a transaction, one client
+//! (memaslap analog over loopback TCP, 10-byte values, one set per 1000
+//! items; Appendix). Also fits the linear calibration cost model used by
+//! Fig 3.
+
+fn main() {
+    rnb_bench::store_micro_figure(
+        1,
+        "fig13",
+        "Fig 13: items/sec vs transaction size (1 client)",
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 14: the Fig 13 micro-benchmark with two concurrent clients
+//! (the paper's two client machines become two client threads with their
+//! own connections; Appendix).
+
+fn main() {
+    rnb_bench::store_micro_figure(
+        2,
+        "fig14",
+        "Fig 14: items/sec vs transaction size (2 clients)",
+    );
+}

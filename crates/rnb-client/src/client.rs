@@ -1,0 +1,350 @@
+//! The client proper.
+
+use crate::keys::item_key;
+use crate::stats::ClientStats;
+use rnb_core::{Bundler, PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+use rnb_hash::{ItemId, Placement, ServerId};
+use rnb_store::StoreClient;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+
+/// Configuration of a deployed RnB client.
+#[derive(Debug, Clone)]
+pub struct RnbClientConfig {
+    /// Placement and bundling configuration (server count must match the
+    /// address list handed to [`RnbClient::connect`]).
+    pub rnb: RnbConfig,
+    /// Append hitchhikers to planned transactions (§III-C2).
+    pub hitchhiking: bool,
+    /// Write recovered misses back to the planned replica (§III-C2).
+    pub writeback: bool,
+    /// How `set` propagates to replicas (§III-G / §IV).
+    pub write_policy: WritePolicy,
+}
+
+impl RnbClientConfig {
+    /// Defaults matching the paper's evaluated configuration:
+    /// 4-way logical replication is the paper's sweet spot; pass your own
+    /// [`RnbConfig`] via the field for anything else.
+    pub fn new(replication: usize) -> Self {
+        RnbClientConfig {
+            rnb: RnbConfig::new(1, replication), // server count fixed at connect()
+            hitchhiking: true,
+            writeback: true,
+            write_policy: WritePolicy::WriteAll,
+        }
+    }
+
+    /// Builder-style write-policy override.
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// Builder-style hitchhiking toggle.
+    pub fn with_hitchhiking(mut self, on: bool) -> Self {
+        self.hitchhiking = on;
+        self
+    }
+
+    /// Builder-style write-back toggle.
+    pub fn with_writeback(mut self, on: bool) -> Self {
+        self.writeback = on;
+        self
+    }
+}
+
+/// A connected RnB deployment client.
+pub struct RnbClient {
+    conns: Vec<StoreClient>,
+    bundler: Bundler<PlacementStrategy>,
+    writer: WritePlanner<PlacementStrategy>,
+    config: RnbClientConfig,
+    stats: ClientStats,
+}
+
+impl RnbClient {
+    /// Connect to the server fleet. The placement's server count is set
+    /// to `addrs.len()`; every client of the deployment must list the
+    /// servers in the same order (this list is RnB's entire shared
+    /// configuration, §I-C).
+    pub fn connect(addrs: &[SocketAddr], mut config: RnbClientConfig) -> io::Result<RnbClient> {
+        assert!(!addrs.is_empty(), "need at least one server");
+        config.rnb.servers = addrs.len();
+        let conns = addrs
+            .iter()
+            .map(|&a| StoreClient::connect(a))
+            .collect::<io::Result<_>>()?;
+        let bundler = Bundler::from_config(&config.rnb);
+        let writer = WritePlanner::new(
+            PlacementStrategy::from_config(&config.rnb),
+            config.write_policy,
+        );
+        Ok(RnbClient {
+            conns,
+            bundler,
+            writer,
+            config,
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// Number of servers in the deployment.
+    pub fn num_servers(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The planner (for tests and tooling).
+    pub fn bundler(&self) -> &Bundler<PlacementStrategy> {
+        &self.bundler
+    }
+
+    /// Fetch `items` with full RnB treatment. Returns one entry per input
+    /// position; `None` means no server (including the distinguished
+    /// copy) holds the item.
+    pub fn multi_get(&mut self, items: &[ItemId]) -> io::Result<Vec<Option<Vec<u8>>>> {
+        let plan = self.bundler.plan(items);
+        let placement = self.bundler.placement();
+
+        // Hitchhikers per transaction.
+        let txn_of_server: HashMap<ServerId, usize> = plan
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.server, i))
+            .collect();
+        let mut extras: Vec<Vec<ItemId>> = vec![Vec::new(); plan.transactions.len()];
+        if self.config.hitchhiking {
+            let mut reps = Vec::new();
+            for (ti, txn) in plan.transactions.iter().enumerate() {
+                for &item in &txn.items {
+                    placement.replicas_into(item, &mut reps);
+                    for &s in &reps {
+                        if let Some(&tj) = txn_of_server.get(&s) {
+                            if tj != ti && !extras[tj].contains(&item) {
+                                extras[tj].push(item);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Round 1. An I/O error on a transaction (server down) is not
+        // fatal: its planned items fall through to the fallback rounds —
+        // RnB's replication doubles as availability (the paper's remark
+        // that memcached-tier "data loss … is usually tolerable" becomes
+        // "server loss is tolerable" once every item has k homes).
+        let mut found: HashMap<ItemId, Vec<u8>> = HashMap::new();
+        let mut missed: Vec<(ItemId, ServerId)> = Vec::new();
+        for (ti, txn) in plan.transactions.iter().enumerate() {
+            let all_items: Vec<ItemId> =
+                txn.items.iter().chain(extras[ti].iter()).copied().collect();
+            let keys: Vec<Vec<u8>> = all_items.iter().map(|&i| item_key(i)).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            self.stats.round1_txns += 1;
+            match self.conns[txn.server as usize].get_multi(&refs) {
+                Ok(values) => {
+                    for (&item, value) in all_items.iter().zip(values) {
+                        match value {
+                            Some((data, _flags)) => {
+                                found.entry(item).or_insert(data);
+                            }
+                            None => {
+                                if txn.items.contains(&item) {
+                                    missed.push((item, txn.server));
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.stats.failed_txns += 1;
+                    for &item in &txn.items {
+                        missed.push((item, txn.server));
+                    }
+                }
+            }
+        }
+
+        // Misses not rescued by hitchhikers → bundled distinguished
+        // fallback (§III-D).
+        let mut second: HashMap<ServerId, Vec<ItemId>> = HashMap::new();
+        for &(item, _) in &missed {
+            if !found.contains_key(&item) {
+                second
+                    .entry(placement.distinguished(item))
+                    .or_default()
+                    .push(item);
+            }
+        }
+        self.stats.planned_misses += missed.len() as u64;
+        self.stats.rescued_by_hitchhikers +=
+            missed.iter().filter(|(i, _)| found.contains_key(i)).count() as u64;
+        let mut second: Vec<(ServerId, Vec<ItemId>)> = second.into_iter().collect();
+        second.sort_unstable_by_key(|(s, _)| *s);
+        let mut third: Vec<ItemId> = Vec::new();
+        for (server, items) in &second {
+            let keys: Vec<Vec<u8>> = items.iter().map(|&i| item_key(i)).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            self.stats.round2_txns += 1;
+            match self.conns[*server as usize].get_multi(&refs) {
+                Ok(values) => {
+                    for (&item, value) in items.iter().zip(values) {
+                        if let Some((data, _)) = value {
+                            found.insert(item, data);
+                        } else {
+                            self.stats.unavailable_items += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Even the distinguished server is down: survivor
+                    // round over the remaining replicas.
+                    self.stats.failed_txns += 1;
+                    third.extend_from_slice(items);
+                }
+            }
+        }
+
+        // Round 3 (failure path only): per-item sweep over surviving
+        // replicas.
+        for item in third {
+            let key = item_key(item);
+            let mut got = None;
+            for server in placement.replicas(item) {
+                self.stats.round2_txns += 1;
+                if let Ok(values) = self.conns[server as usize].get_multi(&[&key]) {
+                    if let Some((data, _)) = values.into_iter().next().flatten() {
+                        got = Some(data);
+                        break;
+                    }
+                }
+            }
+            match got {
+                Some(data) => {
+                    found.insert(item, data);
+                }
+                None => self.stats.unavailable_items += 1,
+            }
+        }
+
+        // Write-back recovered misses to their planned replica server
+        // (ignore write errors — the server may be the dead one).
+        if self.config.writeback {
+            for (item, server) in missed {
+                if let Some(data) = found.get(&item) {
+                    let data = data.clone();
+                    if self.conns[server as usize]
+                        .set(&item_key(item), &data, 0)
+                        .is_ok()
+                    {
+                        self.stats.writebacks += 1;
+                    }
+                }
+            }
+        }
+
+        self.stats.requests += 1;
+        Ok(items.iter().map(|i| found.get(i).cloned()).collect())
+    }
+
+    /// Store `item` on all of its replica servers per the write policy.
+    /// The distinguished copy is written with `add`-then-`replace`
+    /// fallback to plain `set` — rnb-store pins via its in-process API,
+    /// so over the wire the distinguished copy is an ordinary entry.
+    pub fn set(&mut self, item: ItemId, value: &[u8]) -> io::Result<()> {
+        let plan = self.writer.plan_write(item);
+        let key = item_key(item);
+        for txn in &plan.invalidations {
+            self.conns[txn.server as usize].delete(&key)?;
+            self.stats.write_txns += 1;
+        }
+        for txn in &plan.writes {
+            self.conns[txn.server as usize].set(&key, value, 0)?;
+            self.stats.write_txns += 1;
+        }
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Delete `item` everywhere (all logical replicas).
+    pub fn delete(&mut self, item: ItemId) -> io::Result<bool> {
+        let key = item_key(item);
+        let mut any = false;
+        for server in self.bundler.placement().replicas(item) {
+            any |= self.conns[server as usize].delete(&key)?;
+        }
+        Ok(any)
+    }
+
+    /// §IV atomic read-modify-write: invalidate the non-distinguished
+    /// replicas, then CAS-loop `f` on the distinguished copy. Returns the
+    /// final stored value; errors if the item does not exist.
+    pub fn atomic_update(
+        &mut self,
+        item: ItemId,
+        f: impl Fn(&[u8]) -> Vec<u8>,
+    ) -> io::Result<Vec<u8>> {
+        let key = item_key(item);
+        let replicas = self.bundler.placement().replicas(item);
+        for &server in &replicas[1..] {
+            self.conns[server as usize].delete(&key)?;
+            self.stats.write_txns += 1;
+        }
+        let d = replicas[0] as usize;
+        loop {
+            let got = self.conns[d].gets_multi(&[&key])?;
+            let Some((data, flags, token)) = got.into_iter().next().flatten() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("item {item} has no distinguished copy"),
+                ));
+            };
+            let next = f(&data);
+            self.stats.write_txns += 1;
+            if self.conns[d].cas(&key, &next, flags, token)? {
+                self.stats.writes += 1;
+                return Ok(next);
+            }
+            self.stats.cas_retries += 1;
+        }
+    }
+}
+
+// Exercised end-to-end in `tests/client_over_tcp.rs` (needs running
+// servers); unit tests cover config plumbing.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let c = RnbClientConfig::new(3)
+            .with_write_policy(WritePolicy::InvalidateThenWrite)
+            .with_hitchhiking(false)
+            .with_writeback(false);
+        assert_eq!(c.rnb.replication, 3);
+        assert_eq!(c.write_policy, WritePolicy::InvalidateThenWrite);
+        assert!(!c.hitchhiking);
+        assert!(!c.writeback);
+    }
+
+    #[test]
+    fn connect_rejects_empty_fleet() {
+        let r = std::panic::catch_unwind(|| RnbClient::connect(&[], RnbClientConfig::new(1)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cas_outcome_is_reexported_sanely() {
+        // Compile-time guard that the store's CAS surface stays public.
+        let _ = rnb_store::shard::CasOutcome::Stored;
+    }
+}

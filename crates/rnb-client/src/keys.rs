@@ -1,0 +1,33 @@
+//! Item-id ↔ wire-key mapping.
+
+use rnb_hash::ItemId;
+
+/// The wire key of an item id (`item:<decimal>`).
+pub fn item_key(item: ItemId) -> Vec<u8> {
+    format!("item:{item}").into_bytes()
+}
+
+/// Parse a wire key back to an item id (for tooling and tests).
+pub fn parse_item_key(key: &[u8]) -> Option<ItemId> {
+    let text = std::str::from_utf8(key).ok()?;
+    text.strip_prefix("item:")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for item in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(parse_item_key(&item_key(item)), Some(item));
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_keys() {
+        assert_eq!(parse_item_key(b"other:1"), None);
+        assert_eq!(parse_item_key(b"item:abc"), None);
+        assert_eq!(parse_item_key(&[0xff]), None);
+    }
+}

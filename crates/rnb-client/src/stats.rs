@@ -1,0 +1,58 @@
+//! Client-side operation counters (mirror of the simulator's metrics,
+//! measured against real servers).
+
+/// Counters accumulated by an [`crate::RnbClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Multi-get requests served.
+    pub requests: u64,
+    /// Round-1 (planned) transactions issued.
+    pub round1_txns: u64,
+    /// Round-2 (distinguished fallback) transactions issued.
+    pub round2_txns: u64,
+    /// Planned item fetches that missed in round 1.
+    pub planned_misses: u64,
+    /// Misses satisfied by a hitchhiker in the same round.
+    pub rescued_by_hitchhikers: u64,
+    /// Replica write-backs performed.
+    pub writebacks: u64,
+    /// Items the servers could not supply at all (not stored).
+    pub unavailable_items: u64,
+    /// Write operations issued (all policies).
+    pub writes: u64,
+    /// Server transactions spent on writes.
+    pub write_txns: u64,
+    /// CAS retries inside atomic updates.
+    pub cas_retries: u64,
+    /// Transactions that failed with an I/O error (server down); their
+    /// items were recovered from other replicas where possible.
+    pub failed_txns: u64,
+}
+
+impl ClientStats {
+    /// Mean transactions per request (both rounds).
+    pub fn tpr(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.round1_txns + self.round2_txns) as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpr_math() {
+        let s = ClientStats {
+            requests: 4,
+            round1_txns: 10,
+            round2_txns: 2,
+            ..Default::default()
+        };
+        assert!((s.tpr() - 3.0).abs() < 1e-12);
+        assert_eq!(ClientStats::default().tpr(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! RnB deployment configuration.
+
+use rnb_hash::HashKind;
+
+/// Which replica-placement scheme the deployment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Ranged Consistent Hashing (paper §IV) — walk the continuum
+    /// gathering distinct servers. The default; what a production
+    /// deployment would run.
+    Rch,
+    /// `k` independent hash functions (paper §III-B) — what the paper's
+    /// simulator used.
+    MultiHash,
+    /// Rendezvous / highest-random-weight — ablation baseline.
+    Rendezvous,
+    /// Jump consistent hashing (Lamping–Veach) — the modern zero-memory
+    /// alternative, for the placement ablation.
+    Jump,
+}
+
+/// Configuration of an RnB deployment.
+///
+/// `replication` is the *logical* (declared) replication level; with
+/// overbooking (§III-C1) the physically resident copies may be fewer —
+/// that is the storage layer's business (see `rnb-sim` / `rnb-store`), not
+/// the client's: "when the client is handling a request, it is practically
+/// oblivious to the overbooking".
+#[derive(Debug, Clone)]
+pub struct RnbConfig {
+    /// Number of storage servers.
+    pub servers: usize,
+    /// Declared replicas per item (≥ 1; 1 disables bundling gains).
+    pub replication: usize,
+    /// Placement scheme.
+    pub placement: PlacementKind,
+    /// Hash family used by the placement scheme.
+    pub hash: HashKind,
+    /// Seed for all hashing; every client must share it (it is the entire
+    /// "configuration information" RnB needs beyond memcached's).
+    pub seed: u64,
+    /// Route single-item transactions to the item's distinguished copy
+    /// ("whenever an item is not bundled, we access its distinguished copy
+    /// in order not to pollute other server caches", §III-C1).
+    pub single_item_to_distinguished: bool,
+}
+
+impl RnbConfig {
+    /// A default-policy config: RCH placement, xxHash64, seed 0x52_6e_42
+    /// ("RnB"), distinguished-copy routing on.
+    pub fn new(servers: usize, replication: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(replication >= 1, "replication must be >= 1");
+        RnbConfig {
+            servers,
+            replication,
+            placement: PlacementKind::Rch,
+            hash: HashKind::XxHash64,
+            seed: 0x52_6e_42,
+            single_item_to_distinguished: true,
+        }
+    }
+
+    /// Builder-style: set the placement kind.
+    pub fn with_placement(mut self, kind: PlacementKind) -> Self {
+        self.placement = kind;
+        self
+    }
+
+    /// Builder-style: set the hash family.
+    pub fn with_hash(mut self, hash: HashKind) -> Self {
+        self.hash = hash;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: toggle distinguished-copy routing of single-item
+    /// transactions.
+    pub fn with_single_item_to_distinguished(mut self, on: bool) -> Self {
+        self.single_item_to_distinguished = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = RnbConfig::new(8, 3)
+            .with_placement(PlacementKind::MultiHash)
+            .with_hash(HashKind::Murmur3)
+            .with_seed(99)
+            .with_single_item_to_distinguished(false);
+        assert_eq!(c.servers, 8);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.placement, PlacementKind::MultiHash);
+        assert_eq!(c.hash, HashKind::Murmur3);
+        assert_eq!(c.seed, 99);
+        assert!(!c.single_item_to_distinguished);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        RnbConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be >= 1")]
+    fn zero_replication_rejected() {
+        RnbConfig::new(4, 0);
+    }
+}

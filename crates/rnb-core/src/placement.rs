@@ -1,0 +1,159 @@
+//! Concrete placement strategies behind one enum, so callers can switch
+//! schemes without generics.
+
+use crate::config::{PlacementKind, RnbConfig};
+use rnb_hash::jump::JumpPlacement;
+use rnb_hash::multihash::MultiHashPlacement;
+use rnb_hash::rch::RangedConsistentHash;
+use rnb_hash::rendezvous::RendezvousPlacement;
+use rnb_hash::{HashKind, ItemId, Placement, ServerId};
+
+/// A replica placement scheme chosen at runtime.
+pub enum PlacementStrategy {
+    /// Ranged Consistent Hashing (paper §IV).
+    Rch(RangedConsistentHash),
+    /// Multiple independent hash functions (paper §III-B).
+    MultiHash(MultiHashPlacement),
+    /// Rendezvous hashing (ablation).
+    Rendezvous(RendezvousPlacement),
+    /// Jump consistent hashing (ablation).
+    Jump(JumpPlacement),
+}
+
+impl PlacementStrategy {
+    /// Build the strategy described by `config`.
+    pub fn from_config(config: &RnbConfig) -> Self {
+        Self::build(
+            config.placement,
+            config.servers,
+            config.replication,
+            config.hash,
+            config.seed,
+        )
+    }
+
+    /// Build a strategy from explicit parameters.
+    pub fn build(
+        kind: PlacementKind,
+        servers: usize,
+        replication: usize,
+        hash: HashKind,
+        seed: u64,
+    ) -> Self {
+        match kind {
+            PlacementKind::Rch => {
+                PlacementStrategy::Rch(RangedConsistentHash::new(servers, replication, hash, seed))
+            }
+            PlacementKind::MultiHash => PlacementStrategy::MultiHash(MultiHashPlacement::new(
+                servers,
+                replication,
+                hash,
+                seed,
+            )),
+            PlacementKind::Rendezvous => PlacementStrategy::Rendezvous(RendezvousPlacement::new(
+                servers,
+                replication,
+                hash,
+                seed,
+            )),
+            PlacementKind::Jump => {
+                // Jump hashing has its own internal mixing; the hash-kind
+                // knob does not apply.
+                PlacementStrategy::Jump(JumpPlacement::new(servers, replication, seed))
+            }
+        }
+    }
+
+    /// The memcached baseline: one copy per item on a consistent-hashing
+    /// ring (RCH with replication 1 — identical to plain consistent
+    /// hashing; see `rnb_hash::rch` tests).
+    pub fn no_replication(servers: usize, seed: u64) -> Self {
+        PlacementStrategy::Rch(RangedConsistentHash::new(
+            servers,
+            1,
+            HashKind::XxHash64,
+            seed,
+        ))
+    }
+
+    /// Name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementStrategy::Rch(_) => "rch",
+            PlacementStrategy::MultiHash(_) => "multihash",
+            PlacementStrategy::Rendezvous(_) => "rendezvous",
+            PlacementStrategy::Jump(_) => "jump",
+        }
+    }
+}
+
+impl Placement for PlacementStrategy {
+    fn num_servers(&self) -> usize {
+        match self {
+            PlacementStrategy::Rch(p) => p.num_servers(),
+            PlacementStrategy::MultiHash(p) => p.num_servers(),
+            PlacementStrategy::Rendezvous(p) => p.num_servers(),
+            PlacementStrategy::Jump(p) => p.num_servers(),
+        }
+    }
+
+    fn replication(&self) -> usize {
+        match self {
+            PlacementStrategy::Rch(p) => p.replication(),
+            PlacementStrategy::MultiHash(p) => p.replication(),
+            PlacementStrategy::Rendezvous(p) => p.replication(),
+            PlacementStrategy::Jump(p) => p.replication(),
+        }
+    }
+
+    fn replicas_into(&self, item: ItemId, out: &mut Vec<ServerId>) {
+        match self {
+            PlacementStrategy::Rch(p) => p.replicas_into(item, out),
+            PlacementStrategy::MultiHash(p) => p.replicas_into(item, out),
+            PlacementStrategy::Rendezvous(p) => p.replicas_into(item, out),
+            PlacementStrategy::Jump(p) => p.replicas_into(item, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_buildable_and_distinct_replicas() {
+        for kind in [
+            PlacementKind::Rch,
+            PlacementKind::MultiHash,
+            PlacementKind::Rendezvous,
+            PlacementKind::Jump,
+        ] {
+            let p = PlacementStrategy::build(kind, 16, 3, HashKind::XxHash64, 5);
+            assert_eq!(p.num_servers(), 16);
+            assert_eq!(p.replication(), 3);
+            for item in 0..500 {
+                let reps = p.replicas(item);
+                let mut s = reps.clone();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), 3, "{kind:?} produced duplicate replicas");
+            }
+        }
+    }
+
+    #[test]
+    fn no_replication_is_single_copy() {
+        let p = PlacementStrategy::no_replication(8, 1);
+        assert_eq!(p.replication(), 1);
+        for item in 0..100 {
+            assert_eq!(p.replicas(item).len(), 1);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PlacementStrategy::no_replication(2, 0).name(), "rch");
+        let c = RnbConfig::new(4, 2).with_placement(PlacementKind::Rendezvous);
+        assert_eq!(PlacementStrategy::from_config(&c).name(), "rendezvous");
+    }
+}

@@ -1,0 +1,115 @@
+//! Fetch plans: the output of bundling.
+
+use rnb_hash::{ItemId, ServerId};
+
+/// One server round-trip: a multi-get of `items` sent to `server`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Target server.
+    pub server: ServerId,
+    /// Items fetched in this transaction (the items the planner *assigned*
+    /// here; hitchhikers are added later by the execution layer).
+    pub items: Vec<ItemId>,
+}
+
+/// A plan for satisfying one request: the set of transactions to issue.
+#[derive(Debug, Clone, Default)]
+pub struct FetchPlan {
+    /// Transactions in pick order (greedy order: largest bundle first,
+    /// modulo post-processing).
+    pub transactions: Vec<Transaction>,
+    /// Number of distinct items in the original request.
+    pub requested: usize,
+}
+
+impl FetchPlan {
+    /// Transactions Per Request contributed by this plan — the paper's
+    /// central metric (before miss handling adds second-round
+    /// transactions).
+    pub fn tpr(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Total items the plan fetches (≤ `requested` for LIMIT plans).
+    pub fn planned_items(&self) -> usize {
+        self.transactions.iter().map(|t| t.items.len()).sum()
+    }
+
+    /// Distinct servers contacted (equals `tpr()` by construction; kept as
+    /// an invariant check for tests).
+    pub fn distinct_servers(&self) -> usize {
+        let mut s: Vec<ServerId> = self.transactions.iter().map(|t| t.server).collect();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    }
+
+    /// Histogram of items-per-transaction; index `i` counts transactions
+    /// carrying exactly `i` items. Used by the calibration layer to turn
+    /// plans into throughput estimates (paper Appendix).
+    pub fn txn_size_histogram(&self) -> Vec<usize> {
+        let max = self
+            .transactions
+            .iter()
+            .map(|t| t.items.len())
+            .max()
+            .unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for t in &self.transactions {
+            hist[t.items.len()] += 1;
+        }
+        hist
+    }
+
+    /// The server each planned item was assigned to.
+    pub fn assignment(&self) -> impl Iterator<Item = (ItemId, ServerId)> + '_ {
+        self.transactions
+            .iter()
+            .flat_map(|t| t.items.iter().map(move |&i| (i, t.server)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FetchPlan {
+        FetchPlan {
+            transactions: vec![
+                Transaction {
+                    server: 3,
+                    items: vec![10, 11, 12],
+                },
+                Transaction {
+                    server: 0,
+                    items: vec![13],
+                },
+            ],
+            requested: 4,
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let p = plan();
+        assert_eq!(p.tpr(), 2);
+        assert_eq!(p.planned_items(), 4);
+        assert_eq!(p.distinct_servers(), 2);
+        assert_eq!(p.txn_size_histogram(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn assignment_pairs() {
+        let p = plan();
+        let pairs: Vec<_> = p.assignment().collect();
+        assert_eq!(pairs, vec![(10, 3), (11, 3), (12, 3), (13, 0)]);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = FetchPlan::default();
+        assert_eq!(p.tpr(), 0);
+        assert_eq!(p.planned_items(), 0);
+        assert_eq!(p.txn_size_histogram(), vec![0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Write-path planning: replica updates, invalidation, and the paper's
+//! atomic-operation scheme (§IV).
+//!
+//! Reads are RnB's fast path; writes must deal with the replicas:
+//!
+//! * §III-G: "During write access, RnB requires updating multiple
+//!   replicas. However, when replication is required for reasons such as
+//!   reliability, RnB does not further increase the write complexity."
+//! * §IV: "we proposed schemes for atomic operations in an RnB enabled
+//!   memcached system. For example, remove all but the distinguished
+//!   copies of an item before modifying it, then let RnB-memcached create
+//!   the new copies on demand, after the atomic operation completes."
+
+use crate::plan::Transaction;
+use rnb_hash::{ItemId, Placement, ServerId};
+
+/// How a write propagates to an item's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Update every logical replica in place — one `set` per replica
+    /// server. Simple, keeps replicas warm, but a concurrent multi-server
+    /// update is not atomic.
+    WriteAll,
+    /// The §IV atomic scheme: first *delete* the non-distinguished
+    /// copies, then update the distinguished copy. Readers can never see
+    /// a stale replica (it is gone before the new value lands); the
+    /// bundler's miss path recreates replicas on demand via write-back.
+    InvalidateThenWrite,
+}
+
+/// The server operations one write expands to, in issue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritePlan {
+    /// The written item.
+    pub item: ItemId,
+    /// `delete` transactions to issue first (empty for
+    /// [`WritePolicy::WriteAll`]).
+    pub invalidations: Vec<Transaction>,
+    /// `set` transactions to issue after the invalidations complete.
+    pub writes: Vec<Transaction>,
+}
+
+impl WritePlan {
+    /// Total server transactions this write costs.
+    pub fn total_txns(&self) -> usize {
+        self.invalidations.len() + self.writes.len()
+    }
+}
+
+/// Plans writes over a placement. Stateless, like the read-side
+/// [`crate::Bundler`].
+///
+/// ```
+/// use rnb_core::{PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+/// let config = RnbConfig::new(16, 4);
+/// let planner = WritePlanner::new(
+///     PlacementStrategy::from_config(&config),
+///     WritePolicy::InvalidateThenWrite,
+/// );
+/// let plan = planner.plan_write(7);
+/// // The §IV atomic scheme: delete the 3 extra replicas, then write the
+/// // distinguished copy.
+/// assert_eq!(plan.invalidations.len(), 3);
+/// assert_eq!(plan.writes.len(), 1);
+/// ```
+pub struct WritePlanner<P: Placement> {
+    placement: P,
+    policy: WritePolicy,
+}
+
+impl<P: Placement> WritePlanner<P> {
+    /// A planner with the given policy.
+    pub fn new(placement: P, policy: WritePolicy) -> Self {
+        WritePlanner { placement, policy }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// The placement in use.
+    pub fn placement(&self) -> &P {
+        &self.placement
+    }
+
+    /// Plan one item write.
+    pub fn plan_write(&self, item: ItemId) -> WritePlan {
+        let replicas = self.placement.replicas(item);
+        match self.policy {
+            WritePolicy::WriteAll => WritePlan {
+                item,
+                invalidations: Vec::new(),
+                writes: replicas
+                    .into_iter()
+                    .map(|server| Transaction {
+                        server,
+                        items: vec![item],
+                    })
+                    .collect(),
+            },
+            WritePolicy::InvalidateThenWrite => WritePlan {
+                item,
+                invalidations: replicas[1..]
+                    .iter()
+                    .map(|&server| Transaction {
+                        server,
+                        items: vec![item],
+                    })
+                    .collect(),
+                writes: vec![Transaction {
+                    server: replicas[0],
+                    items: vec![item],
+                }],
+            },
+        }
+    }
+
+    /// Plan a batch of writes, bundling same-server operations of the
+    /// same kind into one transaction each (memcached pipelining; the
+    /// delete→write ordering barrier is preserved per batch).
+    pub fn plan_write_batch(&self, items: &[ItemId]) -> WritePlan {
+        let mut distinct: Vec<ItemId> = items.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut invalidations: Vec<Transaction> = Vec::new();
+        let mut writes: Vec<Transaction> = Vec::new();
+        let push = |list: &mut Vec<Transaction>, server: ServerId, item: ItemId| match list
+            .iter_mut()
+            .find(|t| t.server == server)
+        {
+            Some(t) => t.items.push(item),
+            None => list.push(Transaction {
+                server,
+                items: vec![item],
+            }),
+        };
+        for &item in &distinct {
+            let single = self.plan_write(item);
+            for t in single.invalidations {
+                push(&mut invalidations, t.server, item);
+            }
+            for t in single.writes {
+                push(&mut writes, t.server, item);
+            }
+        }
+        WritePlan {
+            item: *distinct.first().unwrap_or(&0),
+            invalidations,
+            writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlacementStrategy, RnbConfig};
+
+    fn planner(policy: WritePolicy) -> WritePlanner<PlacementStrategy> {
+        let config = RnbConfig::new(16, 4);
+        WritePlanner::new(PlacementStrategy::from_config(&config), policy)
+    }
+
+    #[test]
+    fn write_all_touches_every_replica() {
+        let p = planner(WritePolicy::WriteAll);
+        for item in 0..200u64 {
+            let plan = p.plan_write(item);
+            assert!(plan.invalidations.is_empty());
+            assert_eq!(plan.writes.len(), 4);
+            assert_eq!(plan.total_txns(), 4);
+            let servers: Vec<_> = plan.writes.iter().map(|t| t.server).collect();
+            assert_eq!(servers, p.placement().replicas(item));
+        }
+    }
+
+    #[test]
+    fn invalidate_then_write_preserves_distinguished_copy() {
+        let p = planner(WritePolicy::InvalidateThenWrite);
+        for item in 0..200u64 {
+            let plan = p.plan_write(item);
+            let replicas = p.placement().replicas(item);
+            // Deletes target exactly the non-distinguished replicas…
+            let del: Vec<_> = plan.invalidations.iter().map(|t| t.server).collect();
+            assert_eq!(del, replicas[1..].to_vec());
+            // …and the single write goes to the distinguished copy.
+            assert_eq!(plan.writes.len(), 1);
+            assert_eq!(plan.writes[0].server, replicas[0]);
+            assert_eq!(plan.total_txns(), 4);
+        }
+    }
+
+    #[test]
+    fn replication_one_writes_once_either_way() {
+        for policy in [WritePolicy::WriteAll, WritePolicy::InvalidateThenWrite] {
+            let config = RnbConfig::new(16, 1);
+            let p = WritePlanner::new(PlacementStrategy::from_config(&config), policy);
+            let plan = p.plan_write(42);
+            assert_eq!(plan.total_txns(), 1, "{policy:?}");
+            assert!(plan.invalidations.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_bundles_same_server_ops() {
+        let p = planner(WritePolicy::WriteAll);
+        let items: Vec<u64> = (0..50).collect();
+        let batch = p.plan_write_batch(&items);
+        // Bundled: at most one write transaction per server.
+        assert!(batch.writes.len() <= 16);
+        // Every (item, replica) pair appears exactly once.
+        let mut pairs = 0;
+        for t in &batch.writes {
+            for &item in &t.items {
+                assert!(p.placement().replicas(item).contains(&t.server));
+                pairs += 1;
+            }
+        }
+        assert_eq!(pairs, 50 * 4);
+        // Far fewer transactions than unbatched 50 × 4.
+        assert!(batch.total_txns() < 200 / 4);
+    }
+
+    #[test]
+    fn batch_dedupes_items() {
+        let p = planner(WritePolicy::InvalidateThenWrite);
+        let batch = p.plan_write_batch(&[7, 7, 7]);
+        let write_items: usize = batch.writes.iter().map(|t| t.items.len()).sum();
+        assert_eq!(write_items, 1);
+        let inval_items: usize = batch.invalidations.iter().map(|t| t.items.len()).sum();
+        assert_eq!(inval_items, 3);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let p = planner(WritePolicy::WriteAll);
+        let batch = p.plan_write_batch(&[]);
+        assert_eq!(batch.total_txns(), 0);
+    }
+}

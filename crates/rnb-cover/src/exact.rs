@@ -1,0 +1,211 @@
+//! Exact minimum set cover by branch-and-bound, for instances with a
+//! universe of at most 128 items.
+//!
+//! Used to measure the greedy heuristic's approximation quality (the
+//! paper argues greedy is near-optimal in the mean for RnB's random
+//! placements; `rnb-bench`'s `cover` bench and the property tests in
+//! [`crate::greedy`] quantify it).
+
+use crate::instance::{CoverInstance, CoverSolution, CoverTarget, Pick};
+
+/// Largest universe the exact solver accepts.
+pub const MAX_EXACT_UNIVERSE: usize = 128;
+
+/// Solve `inst` to optimality. Returns `None` if the universe exceeds
+/// [`MAX_EXACT_UNIVERSE`]. Items no set can cover are ignored (matching
+/// [`CoverTarget::Full`] semantics).
+pub fn solve_exact(inst: &CoverInstance) -> Option<CoverSolution> {
+    if inst.universe() > MAX_EXACT_UNIVERSE {
+        return None;
+    }
+    let masks: Vec<u128> = (0..inst.num_sets())
+        .map(|i| inst.set(i).iter_ones().fold(0u128, |m, b| m | (1u128 << b)))
+        .collect();
+    let coverable: u128 = masks.iter().fold(0, |a, b| a | b);
+
+    // Greedy gives the initial upper bound (and a feasible incumbent).
+    let greedy = crate::greedy::greedy_cover(inst, CoverTarget::Full);
+    let mut best: Vec<usize> = greedy.picks.iter().map(|p| p.set_idx).collect();
+
+    let max_set_size = masks
+        .iter()
+        .map(|m| m.count_ones() as usize)
+        .max()
+        .unwrap_or(0);
+
+    let mut chosen = Vec::new();
+    branch(&masks, coverable, max_set_size, &mut chosen, &mut best);
+
+    // Materialise the best selection into a validated solution, assigning
+    // each item to the first chosen set that holds it.
+    let mut picks = Vec::new();
+    let mut remaining = coverable;
+    for &idx in &best {
+        let newly = masks[idx] & remaining;
+        remaining &= !newly;
+        picks.push(Pick {
+            set_idx: idx,
+            label: inst.label(idx),
+            items: (0..inst.universe() as u32)
+                .filter(|&b| newly >> b & 1 == 1)
+                .collect(),
+        });
+    }
+    let covered = (coverable & !remaining).count_ones() as usize;
+    Some(CoverSolution { picks, covered })
+}
+
+fn branch(
+    masks: &[u128],
+    uncovered: u128,
+    max_set_size: usize,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    if uncovered == 0 {
+        if chosen.len() < best.len() {
+            *best = chosen.clone();
+        }
+        return;
+    }
+    // Lower bound: even perfectly packed sets need this many more picks.
+    if max_set_size == 0 {
+        return;
+    }
+    let lb = (uncovered.count_ones() as usize).div_ceil(max_set_size);
+    if chosen.len() + lb >= best.len() {
+        return;
+    }
+    // Branch on the uncovered item with the fewest candidate sets — every
+    // cover must include one of them, keeping the branching factor minimal.
+    let mut branch_item = u32::MAX;
+    let mut branch_count = usize::MAX;
+    let mut item_bits = uncovered;
+    while item_bits != 0 {
+        let bit = item_bits.trailing_zeros();
+        item_bits &= item_bits - 1;
+        let count = masks.iter().filter(|&&m| m >> bit & 1 == 1).count();
+        if count < branch_count {
+            branch_count = count;
+            branch_item = bit;
+            if count == 1 {
+                break;
+            }
+        }
+    }
+    debug_assert_ne!(branch_item, u32::MAX);
+
+    // Try candidate sets in decreasing order of gain for better pruning.
+    let mut candidates: Vec<usize> = (0..masks.len())
+        .filter(|&i| masks[i] >> branch_item & 1 == 1 && !chosen.contains(&i))
+        .collect();
+    candidates.sort_by_key(|&i| std::cmp::Reverse((masks[i] & uncovered).count_ones()));
+
+    for idx in candidates {
+        chosen.push(idx);
+        branch(masks, uncovered & !masks[idx], max_set_size, chosen, best);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_cover;
+    use proptest::prelude::*;
+
+    fn inst_from(universe: usize, sets: &[&[u32]]) -> CoverInstance {
+        let v: Vec<Vec<u32>> = sets.iter().map(|s| s.to_vec()).collect();
+        CoverInstance::from_sets(universe, &v)
+    }
+
+    #[test]
+    fn finds_known_optimum() {
+        // Greedy needs 3 here; the optimum is 2.
+        let inst = inst_from(6, &[&[0, 2, 4], &[1, 3, 5], &[0, 1, 2, 3]]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.picks.len(), 2);
+        assert_eq!(sol.covered, 6);
+        assert!(sol.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn single_set_instance() {
+        let inst = inst_from(3, &[&[0, 1, 2]]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.picks.len(), 1);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let inst = CoverInstance::from_sets(0, &[]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.picks.len(), 0);
+        assert_eq!(sol.covered, 0);
+    }
+
+    #[test]
+    fn uncoverable_items_ignored() {
+        let inst = inst_from(4, &[&[0], &[1]]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.covered, 2);
+        assert_eq!(sol.picks.len(), 2);
+    }
+
+    #[test]
+    fn oversized_universe_refused() {
+        let inst = CoverInstance::from_sets(200, &[vec![0]]);
+        assert!(solve_exact(&inst).is_none());
+    }
+
+    #[test]
+    fn disjoint_sets_need_all() {
+        let inst = inst_from(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.picks.len(), 3);
+    }
+
+    proptest! {
+        /// Exact is never worse than greedy, always covers everything
+        /// coverable, and validates.
+        #[test]
+        fn exact_beats_or_matches_greedy(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..16, 1..8), 1..10),
+        ) {
+            let inst = CoverInstance::from_sets(16, &sets);
+            let e = solve_exact(&inst).unwrap();
+            let g = greedy_cover(&inst, CoverTarget::Full);
+            prop_assert!(e.picks.len() <= g.picks.len());
+            prop_assert_eq!(e.covered, inst.coverable_items());
+            prop_assert!(e.validate(&inst).is_ok());
+        }
+
+        /// Optimality cross-check: no subset of sets smaller than the
+        /// exact answer covers the universe (brute force, ≤ 7 sets).
+        #[test]
+        fn no_smaller_cover_exists(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..10, 1..6), 1..7),
+        ) {
+            let inst = CoverInstance::from_sets(10, &sets);
+            let e = solve_exact(&inst).unwrap();
+            let coverable = inst.coverable_items();
+            let n = inst.num_sets();
+            for subset in 0u32..(1 << n) {
+                if (subset.count_ones() as usize) < e.picks.len() {
+                    let mut u = crate::BitSet::new(10);
+                    for i in 0..n {
+                        if subset >> i & 1 == 1 {
+                            u.union_with(inst.set(i));
+                        }
+                    }
+                    prop_assert!(
+                        u.count_ones() < coverable,
+                        "subset {subset:b} covers with fewer sets than exact"
+                    );
+                }
+            }
+        }
+    }
+}

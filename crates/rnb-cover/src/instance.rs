@@ -1,0 +1,286 @@
+//! Cover instances and solutions.
+
+use crate::bitset::BitSet;
+
+/// A set cover instance: a universe of `universe` items (indices
+/// `0..universe`) and candidate sets (in RnB, one per server that holds at
+/// least one requested item).
+#[derive(Clone, Debug)]
+pub struct CoverInstance {
+    universe: usize,
+    sets: Vec<BitSet>,
+    /// Caller-meaningful label per set (in RnB the server id).
+    labels: Vec<u32>,
+}
+
+impl CoverInstance {
+    /// Build from explicit item-index lists, one per set. Labels default to
+    /// the set's position.
+    pub fn from_sets(universe: usize, sets: &[Vec<u32>]) -> Self {
+        let bitsets = sets
+            .iter()
+            .map(|s| {
+                let mut b = BitSet::new(universe);
+                for &i in s {
+                    b.set(i as usize);
+                }
+                b
+            })
+            .collect::<Vec<_>>();
+        let labels = (0..sets.len() as u32).collect();
+        CoverInstance {
+            universe,
+            sets: bitsets,
+            labels,
+        }
+    }
+
+    /// Build from per-item candidate lists: `item_candidates[i]` is the
+    /// list of labels (servers) that can supply item `i`. This is the
+    /// natural RnB direction: each requested item knows its replica
+    /// servers. Only labels that hold at least one item get a set.
+    pub fn from_item_candidates(item_candidates: &[Vec<u32>]) -> Self {
+        let universe = item_candidates.len();
+        let mut order: Vec<u32> = Vec::new();
+        let mut index_of = std::collections::HashMap::new();
+        for cands in item_candidates {
+            for &label in cands {
+                index_of.entry(label).or_insert_with(|| {
+                    order.push(label);
+                    order.len() - 1
+                });
+            }
+        }
+        let mut sets = vec![BitSet::new(universe); order.len()];
+        for (item, cands) in item_candidates.iter().enumerate() {
+            for &label in cands {
+                sets[index_of[&label]].set(item);
+            }
+        }
+        CoverInstance {
+            universe,
+            sets,
+            labels: order,
+        }
+    }
+
+    /// Universe size (number of requested items).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of candidate sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The bitset of set `idx`.
+    pub fn set(&self, idx: usize) -> &BitSet {
+        &self.sets[idx]
+    }
+
+    /// The caller label of set `idx` (the server id in RnB).
+    pub fn label(&self, idx: usize) -> u32 {
+        self.labels[idx]
+    }
+
+    /// True if the union of all sets covers the whole universe.
+    pub fn is_coverable(&self) -> bool {
+        let mut u = BitSet::new(self.universe);
+        for s in &self.sets {
+            u.union_with(s);
+        }
+        u.count_ones() == self.universe
+    }
+
+    /// Number of items coverable by at least one set.
+    pub fn coverable_items(&self) -> usize {
+        let mut u = BitSet::new(self.universe);
+        for s in &self.sets {
+            u.union_with(s);
+        }
+        u.count_ones()
+    }
+}
+
+/// How much of the universe a cover must reach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverTarget {
+    /// Cover every (coverable) item.
+    Full,
+    /// Cover at least this many items — the paper's "fetch me at least X
+    /// items" LIMIT requests (§III-F). Clamped to the number of coverable
+    /// items.
+    AtLeast(usize),
+    /// Use at most this many sets, covering as much as greedily possible
+    /// — the paper's second LIMIT form, "fetch as many items as possible
+    /// … within X milliseconds": with per-transaction latency dominating,
+    /// a deadline is a transaction budget.
+    MaxPicks(usize),
+}
+
+impl CoverTarget {
+    /// Resolve to a concrete item-count goal for `inst`
+    /// ([`CoverTarget::MaxPicks`] resolves to "everything coverable";
+    /// its pick budget is enforced by [`CoverTarget::pick_budget`]).
+    pub fn resolve(self, inst: &CoverInstance) -> usize {
+        let coverable = inst.coverable_items();
+        match self {
+            CoverTarget::Full | CoverTarget::MaxPicks(_) => coverable,
+            CoverTarget::AtLeast(k) => k.min(coverable),
+        }
+    }
+
+    /// Maximum number of sets a solver may pick under this target.
+    pub fn pick_budget(self) -> usize {
+        match self {
+            CoverTarget::MaxPicks(t) => t,
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// One selected set together with the items newly assigned to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pick {
+    /// Index of the chosen set within the instance.
+    pub set_idx: usize,
+    /// Caller label (server id) of the chosen set.
+    pub label: u32,
+    /// Items this pick is responsible for (newly covered when picked).
+    pub items: Vec<u32>,
+}
+
+/// A (possibly partial) cover.
+#[derive(Clone, Debug, Default)]
+pub struct CoverSolution {
+    /// Selected sets in pick order. In RnB each pick is one transaction.
+    pub picks: Vec<Pick>,
+    /// Total items covered.
+    pub covered: usize,
+}
+
+impl CoverSolution {
+    /// Verify this solution against `inst`: picks reference valid,
+    /// distinct sets; every assigned item belongs to its set; assignments
+    /// are disjoint; and `covered` matches. Returns the covered count.
+    pub fn validate(&self, inst: &CoverInstance) -> Result<usize, String> {
+        let mut seen_sets = std::collections::HashSet::new();
+        let mut covered = BitSet::new(inst.universe());
+        for pick in &self.picks {
+            if pick.set_idx >= inst.num_sets() {
+                return Err(format!(
+                    "pick references set {} of {}",
+                    pick.set_idx,
+                    inst.num_sets()
+                ));
+            }
+            if !seen_sets.insert(pick.set_idx) {
+                return Err(format!("set {} picked twice", pick.set_idx));
+            }
+            if inst.label(pick.set_idx) != pick.label {
+                return Err(format!("pick label {} != instance label", pick.label));
+            }
+            for &item in &pick.items {
+                if !inst.set(pick.set_idx).get(item as usize) {
+                    return Err(format!("item {item} not in set {}", pick.set_idx));
+                }
+                if covered.get(item as usize) {
+                    return Err(format!("item {item} assigned twice"));
+                }
+                covered.set(item as usize);
+            }
+        }
+        let n = covered.count_ones();
+        if n != self.covered {
+            return Err(format!("covered field {} != actual {n}", self.covered));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_item_candidates_inverts_correctly() {
+        // items 0,1 on server 7; item 2 on servers 7 and 9.
+        let inst = CoverInstance::from_item_candidates(&[vec![7], vec![7], vec![7, 9]]);
+        assert_eq!(inst.universe(), 3);
+        assert_eq!(inst.num_sets(), 2);
+        let s7 = (0..inst.num_sets()).find(|&i| inst.label(i) == 7).unwrap();
+        let s9 = (0..inst.num_sets()).find(|&i| inst.label(i) == 9).unwrap();
+        assert_eq!(inst.set(s7).to_vec(), vec![0, 1, 2]);
+        assert_eq!(inst.set(s9).to_vec(), vec![2]);
+        assert!(inst.is_coverable());
+    }
+
+    #[test]
+    fn uncoverable_detected() {
+        let inst = CoverInstance::from_item_candidates(&[vec![1], vec![]]);
+        assert!(!inst.is_coverable());
+        assert_eq!(inst.coverable_items(), 1);
+        assert_eq!(CoverTarget::Full.resolve(&inst), 1);
+        assert_eq!(CoverTarget::AtLeast(5).resolve(&inst), 1);
+        assert_eq!(CoverTarget::AtLeast(0).resolve(&inst), 0);
+    }
+
+    #[test]
+    fn validate_catches_bad_solutions() {
+        let inst = CoverInstance::from_sets(2, &[vec![0], vec![1]]);
+        let ok = CoverSolution {
+            picks: vec![
+                Pick {
+                    set_idx: 0,
+                    label: 0,
+                    items: vec![0],
+                },
+                Pick {
+                    set_idx: 1,
+                    label: 1,
+                    items: vec![1],
+                },
+            ],
+            covered: 2,
+        };
+        assert_eq!(ok.validate(&inst), Ok(2));
+
+        let wrong_item = CoverSolution {
+            picks: vec![Pick {
+                set_idx: 0,
+                label: 0,
+                items: vec![1],
+            }],
+            covered: 1,
+        };
+        assert!(wrong_item.validate(&inst).is_err());
+
+        let double_pick = CoverSolution {
+            picks: vec![
+                Pick {
+                    set_idx: 0,
+                    label: 0,
+                    items: vec![0],
+                },
+                Pick {
+                    set_idx: 0,
+                    label: 0,
+                    items: vec![],
+                },
+            ],
+            covered: 1,
+        };
+        assert!(double_pick.validate(&inst).is_err());
+
+        let bad_count = CoverSolution {
+            picks: vec![Pick {
+                set_idx: 0,
+                label: 0,
+                items: vec![0],
+            }],
+            covered: 2,
+        };
+        assert!(bad_count.validate(&inst).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Community-structured graph generation.
+//!
+//! Configuration-model graphs (see [`crate::generate`]) have near-zero
+//! clustering: two users' friend sets barely overlap, so the only
+//! cross-request affinity comes from item popularity. Real social
+//! networks have strong community structure — overlapping friend sets —
+//! which is exactly the "intrinsic affinity among same-request items"
+//! the paper's §III-E discussion of request merging turns on. This module
+//! generates graphs with tunable community mixing for the locality
+//! ablation (`ext_locality` in `rnb-bench`).
+
+use crate::generate::powerlaw_degrees;
+use crate::graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the community model.
+#[derive(Debug, Clone, Copy)]
+pub struct CommunitySpec {
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count (hit exactly).
+    pub edges: usize,
+    /// Power-law exponent of the out-degree distribution.
+    pub alpha: f64,
+    /// Smallest sampled out-degree.
+    pub d_min: u32,
+    /// Degree truncation.
+    pub d_max: u32,
+    /// Mean community size (communities are power-law sized around it).
+    pub mean_community: usize,
+    /// Fraction of each node's edges wired *outside* its community
+    /// (0.0 = pure cliques-ish, 1.0 = no community structure).
+    pub mixing: f64,
+}
+
+impl CommunitySpec {
+    /// A Slashdot-shaped community spec at `1/scale` size.
+    pub fn slashdot_like(scale: usize, mixing: f64) -> Self {
+        let base = crate::datasets::SLASHDOT.scaled_down(scale);
+        CommunitySpec {
+            nodes: base.nodes,
+            edges: base.edges,
+            alpha: base.alpha,
+            d_min: base.d_min,
+            d_max: base.d_max,
+            mean_community: 64,
+            mixing,
+        }
+    }
+
+    /// Generate the graph.
+    pub fn generate(&self, seed: u64) -> DiGraph {
+        assert!((0.0..=1.0).contains(&self.mixing), "mixing out of [0,1]");
+        assert!(
+            self.mean_community >= 2,
+            "communities need at least 2 members"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // 1. Community sizes: power-law-ish around the mean, assigned to
+        //    consecutive id ranges (ids carry no meaning).
+        let mut boundaries = vec![0usize];
+        while *boundaries.last().unwrap() < self.nodes {
+            let u: f64 = rng.random();
+            // Sizes in [mean/4, 4*mean], density ∝ s^-2 (heavy-ish).
+            let lo = (self.mean_community / 4).max(2) as f64;
+            let hi = (self.mean_community * 4) as f64;
+            let size = (lo * hi / (hi - u * (hi - lo))).round() as usize;
+            boundaries.push((boundaries.last().unwrap() + size.max(2)).min(self.nodes));
+        }
+        let community_of: Vec<u32> = {
+            let mut c = vec![0u32; self.nodes];
+            for (ci, w) in boundaries.windows(2).enumerate() {
+                c[w[0]..w[1]].fill(ci as u32);
+            }
+            c
+        };
+
+        // 2. Degrees, as in the plain generator. A node's distinct-target
+        //    requirement is capped by community size only for the
+        //    in-community share, which the wiring handles by spilling to
+        //    the global pool when a community saturates.
+        let degrees = powerlaw_degrees(
+            self.nodes, self.alpha, self.d_min, self.d_max, self.edges, &mut rng,
+        );
+
+        // 3. Wiring: each edge goes inside the community with probability
+        //    1 - mixing (uniform within), otherwise to the global pool
+        //    (preferential by degree, as the datasets do).
+        let mut cum: Vec<u64> = Vec::with_capacity(self.nodes);
+        let mut acc = 0u64;
+        for &d in &degrees {
+            acc += d as u64 + 1;
+            cum.push(acc);
+        }
+        let total_weight = acc;
+
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.edges);
+        let mut chosen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (v, &d) in degrees.iter().enumerate() {
+            chosen.clear();
+            let ci = community_of[v] as usize;
+            let (c_lo, c_hi) = (boundaries[ci], boundaries[ci + 1]);
+            let c_size = c_hi - c_lo;
+            let mut attempts = 0usize;
+            while chosen.len() < d as usize {
+                attempts += 1;
+                let exhausted_community = chosen.len() + 1 >= c_size; // self excluded
+                let give_up = attempts > 30 * d as usize;
+                let t = if !give_up && !exhausted_community && rng.random::<f64>() >= self.mixing {
+                    (c_lo + rng.random_range(0..c_size)) as u32
+                } else if !give_up {
+                    let x = rng.random_range(0..total_weight);
+                    cum.partition_point(|&c| c <= x) as u32
+                } else {
+                    rng.random_range(0..self.nodes as u32)
+                };
+                if t as usize != v && chosen.insert(t) {
+                    edges.push((v as u32, t));
+                }
+            }
+        }
+        DiGraph::from_edges(self.nodes, &edges)
+    }
+}
+
+/// Mean Jaccard overlap between the friend sets of `pairs` random
+/// *adjacent* node pairs (a node and one of its friends) — the triadic
+///-closure proxy: in clustered graphs, friends-of-friends are friends, so
+/// adjacent ego requests share many items. Used by tests and the
+/// locality ablation.
+pub fn mean_friendset_overlap(graph: &DiGraph, pairs: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eligible: Vec<u32> = (0..graph.num_nodes() as u32)
+        .filter(|&v| graph.out_degree(v) > 0)
+        .collect();
+    if eligible.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for _ in 0..pairs {
+        let a = eligible[rng.random_range(0..eligible.len())];
+        let na = graph.neighbors(a);
+        let b = na[rng.random_range(0..na.len())];
+        if b == a || graph.out_degree(b) == 0 {
+            continue;
+        }
+        let nb = graph.neighbors(b);
+        let inter = na.iter().filter(|x| nb.binary_search(x).is_ok()).count();
+        let union = na.len() + nb.len() - inter;
+        if union > 0 {
+            total += inter as f64 / union as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_exact_shape() {
+        let spec = CommunitySpec {
+            nodes: 3000,
+            edges: 24_000,
+            alpha: 2.0,
+            d_min: 2,
+            d_max: 300,
+            mean_community: 40,
+            mixing: 0.2,
+        };
+        let g = spec.generate(1);
+        assert_eq!(g.num_nodes(), 3000);
+        // Wiring dedup can shave a handful of edges at most.
+        assert!(g.num_edges() as f64 > 0.995 * 24_000.0, "{}", g.num_edges());
+        assert!((g.avg_out_degree() - 8.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn low_mixing_builds_overlapping_friend_sets() {
+        let overlap_at = |mixing: f64| {
+            let spec = CommunitySpec {
+                nodes: 2000,
+                edges: 16_000,
+                alpha: 2.0,
+                d_min: 2,
+                d_max: 200,
+                mean_community: 30,
+                mixing,
+            };
+            mean_friendset_overlap(&spec.generate(7), 4000, 7)
+        };
+        let clustered = overlap_at(0.1);
+        let random = overlap_at(1.0);
+        assert!(
+            clustered > 3.0 * random.max(1e-4),
+            "clustering missing: {clustered} vs {random}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = CommunitySpec::slashdot_like(40, 0.3);
+        let a = spec.generate(5);
+        let b = spec.generate(5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in (0..a.num_nodes() as u32).step_by(131) {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn slashdot_like_spec_matches_scale() {
+        let spec = CommunitySpec::slashdot_like(10, 0.2);
+        assert_eq!(spec.nodes, 8216);
+        let g = spec.generate(3);
+        assert!((g.avg_out_degree() - 11.5).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing out of")]
+    fn bad_mixing_rejected() {
+        CommunitySpec::slashdot_like(40, 1.5).generate(0);
+    }
+}

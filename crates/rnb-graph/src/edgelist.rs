@@ -1,0 +1,214 @@
+//! Parser for SNAP-style edge lists, the format of the paper's Slashdot
+//! and Epinions datasets (`soc-Slashdot0902.txt`, `soc-Epinions1.txt`).
+//!
+//! Format: `#`-prefixed comment lines, then one `FromNodeId<ws>ToNodeId`
+//! pair per line. Node ids may be sparse; they are re-mapped to dense
+//! `0..n` in first-appearance order so the rest of the pipeline can use
+//! them directly as item ids.
+
+use crate::graph::DiGraph;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A non-comment line that is not two integers.
+    Malformed { line_no: usize, line: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line_no, line } => {
+                write!(f, "malformed edge at line {line_no}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse an edge list from any reader. Returns the graph and the mapping
+/// from dense id back to the file's original node id.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<(DiGraph, Vec<u64>), ParseError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut dense: HashMap<u64, u32> = HashMap::new();
+    let mut original: Vec<u64> = Vec::new();
+    let intern = |id: u64, dense: &mut HashMap<u64, u32>, original: &mut Vec<u64>| -> u32 {
+        *dense.entry(id).or_insert_with(|| {
+            original.push(id);
+            (original.len() - 1) as u32
+        })
+    };
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ParseError::Malformed {
+                line_no: line_no + 1,
+                line,
+            });
+        };
+        let (Ok(src), Ok(dst)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(ParseError::Malformed {
+                line_no: line_no + 1,
+                line,
+            });
+        };
+        let s = intern(src, &mut dense, &mut original);
+        let t = intern(dst, &mut dense, &mut original);
+        edges.push((s, t));
+    }
+
+    Ok((DiGraph::from_edges(original.len(), &edges), original))
+}
+
+/// Parse an edge-list file from disk.
+pub fn load_edge_list(path: &Path) -> Result<(DiGraph, Vec<u64>), ParseError> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(std::io::BufReader::new(file))
+}
+
+/// Write a graph in SNAP edge-list format (inverse of
+/// [`parse_edge_list`]), so generated synthetic datasets can be exported
+/// for external tools.
+pub fn write_edge_list<W: std::io::Write>(graph: &DiGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "# Directed graph: {} nodes {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    writeln!(w, "# FromNodeId\tToNodeId")?;
+    for v in 0..graph.num_nodes() as u32 {
+        for &t in graph.neighbors(v) {
+            writeln!(w, "{v}\t{t}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a graph to a file in SNAP edge-list format.
+pub fn save_edge_list(graph: &DiGraph, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_edge_list(graph, &mut writer)?;
+    std::io::Write::flush(&mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_format() {
+        let text = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# Slashdot-style header
+# FromNodeId\tToNodeId
+0\t4
+0\t5
+4\t0
+7\t0
+";
+        let (g, original) = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4); // ids 0,4,5,7 densified
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(original, vec![0, 4, 5, 7]);
+        // dense 0 = original 0, its neighbours are dense ids of 4 and 5.
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn space_separated_and_blank_lines() {
+        let text = "1 2\n\n2 3\n";
+        let (g, _) = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "# ok\n1\t2\noops\n";
+        let err = parse_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            ParseError::Malformed { line_no, .. } => assert_eq!(line_no, 3),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn three_fields_rejected() {
+        let err = parse_edge_list("1 2 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let err = parse_edge_list("a b\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_edge_list(Path::new("/nonexistent/rnb-test-file.txt")).unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let g = crate::generate::powerlaw_graph(300, 2.0, 1, 40, 1500, 3);
+        let mut wire = Vec::new();
+        write_edge_list(&g, &mut wire).unwrap();
+        let (parsed, original) = parse_edge_list(&wire[..]).unwrap();
+        assert_eq!(parsed.num_edges(), g.num_edges());
+        // Ids are densified in first-appearance order; map back through
+        // `original` to compare adjacency.
+        for (dense, &orig) in original.iter().enumerate() {
+            let mut expect: Vec<u64> = g.neighbors(orig as u32).iter().map(|&t| t as u64).collect();
+            expect.sort_unstable();
+            let mut got: Vec<u64> = parsed
+                .neighbors(dense as u32)
+                .iter()
+                .map(|&t| original[t as usize])
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "adjacency mismatch for original node {orig}");
+        }
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_on_disk() {
+        let g = crate::generate::powerlaw_graph(100, 2.0, 1, 20, 400, 4);
+        let dir = std::env::temp_dir().join("rnb-edgelist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.txt");
+        save_edge_list(&g, &path).unwrap();
+        let (loaded, _) = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let (g, original) = parse_edge_list("# only comments\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert!(original.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Compact CSR (compressed sparse row) directed graph.
+
+/// A directed graph in CSR form: node ids are dense `0..num_nodes`.
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`'s
+    /// out-neighbours.
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl DiGraph {
+    /// Build from an edge list. `num_nodes` must exceed every endpoint.
+    /// Self-loops and duplicate edges are removed (the paper's request
+    /// generator fetches each friend's item once).
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Self {
+        for &(s, t) in edges {
+            assert!(
+                (s as usize) < num_nodes && (t as usize) < num_nodes,
+                "edge ({s},{t}) out of range for {num_nodes} nodes"
+            );
+        }
+        // Counting sort by source, then per-node sort + dedup of targets.
+        let mut counts = vec![0usize; num_nodes + 1];
+        for &(s, t) in edges {
+            if s != t {
+                counts[s as usize + 1] += 1;
+            }
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let mut targets = vec![0u32; counts[num_nodes]];
+        let mut cursor = counts.clone();
+        for &(s, t) in edges {
+            if s != t {
+                targets[cursor[s as usize]] = t;
+                cursor[s as usize] += 1;
+            }
+        }
+        // Sort and dedup each adjacency run, then compact.
+        let mut offsets = vec![0usize; num_nodes + 1];
+        let mut write = 0usize;
+        for v in 0..num_nodes {
+            let (start, end) = (counts[v], counts[v + 1]);
+            let run = &mut targets[start..end];
+            run.sort_unstable();
+            let mut prev: Option<u32> = None;
+            let mut kept: Vec<u32> = Vec::with_capacity(run.len());
+            for &t in run.iter() {
+                if prev != Some(t) {
+                    kept.push(t);
+                    prev = Some(t);
+                }
+            }
+            offsets[v] = write;
+            for (i, t) in kept.iter().enumerate() {
+                targets[write + i] = *t;
+            }
+            write += kept.len();
+        }
+        offsets[num_nodes] = write;
+        targets.truncate(write);
+        DiGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (deduplicated, loop-free) directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbours of `v`, sorted ascending.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Mean out-degree.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Maximum out-degree.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_nodes() as u32)
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// In-degrees of all nodes (computed on demand; the request generator
+    /// only needs out-degrees).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes()];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degrees of all nodes.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes() as u32)
+            .map(|v| self.out_degree(v))
+            .collect()
+    }
+
+    /// Count of nodes with out-degree zero (users with no friends; the
+    /// request generators resample past them).
+    pub fn isolated_sources(&self) -> usize {
+        (0..self.num_nodes() as u32)
+            .filter(|&v| self.out_degree(v) == 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_csr() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (3, 0)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.out_degree(0), 2);
+        assert!((g.avg_out_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(g.max_out_degree(), 2);
+        assert_eq!(g.isolated_sources(), 1);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (2, 0), (2, 0), (2, 1)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn in_degrees() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (2, 1), (1, 0)]);
+        assert_eq!(g.in_degrees(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_out_degree(), 0.0);
+        assert_eq!(g.max_out_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge() {
+        DiGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    proptest! {
+        /// CSR construction agrees with a naive adjacency-set build.
+        #[test]
+        fn matches_naive(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..200)) {
+            let g = DiGraph::from_edges(30, &edges);
+            let mut naive: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); 30];
+            for &(s, t) in &edges {
+                if s != t {
+                    naive[s as usize].insert(t);
+                }
+            }
+            for v in 0..30u32 {
+                let expect: Vec<u32> = naive[v as usize].iter().copied().collect();
+                prop_assert_eq!(g.neighbors(v), &expect[..]);
+            }
+            prop_assert_eq!(g.num_edges(), naive.iter().map(|s| s.len()).sum::<usize>());
+        }
+    }
+}

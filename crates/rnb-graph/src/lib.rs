@@ -1,0 +1,28 @@
+//! Social-graph substrate for the RnB reproduction.
+//!
+//! The paper drives its simulator with two SNAP social networks — Slashdot
+//! (82,168 nodes, 948,464 edges, mean out-degree 11.54) and Epinions
+//! (75,879 nodes, 508,837 edges, mean out-degree 6.7) — turning each user
+//! into one stored item and each request into "fetch all of a random
+//! user's friends". This crate provides:
+//!
+//! * [`graph::DiGraph`] — a compact CSR directed graph.
+//! * [`edgelist`] — a parser for SNAP's `# comment` + `src<TAB>dst` format,
+//!   so the real datasets can be dropped in when available.
+//! * [`generate`] — seeded synthetic generators; [`datasets`] instantiates
+//!   Slashdot-like and Epinions-like graphs with the paper's exact node
+//!   and edge counts and a matching heavy-tailed degree histogram (the
+//!   documented substitution for the unavailable originals — see
+//!   DESIGN.md).
+//! * [`histogram`] — degree histograms (Figs 4–5).
+
+pub mod community;
+pub mod datasets;
+pub mod edgelist;
+pub mod generate;
+pub mod graph;
+pub mod histogram;
+
+pub use datasets::{epinions_like, slashdot_like, DatasetSpec, EPINIONS, SLASHDOT};
+pub use graph::DiGraph;
+pub use histogram::DegreeHistogram;

@@ -1,0 +1,177 @@
+//! Jump consistent hashing (Lamping & Veach, 2014) as a replica
+//! placement.
+//!
+//! Not in the paper (it predates the algorithm's publication), but it is
+//! the modern zero-memory alternative to the continuum: perfectly
+//! balanced by construction, O(ln N) lookup, and minimal key movement on
+//! growth — the same properties §IV's Ranged Consistent Hashing buys,
+//! without the vnode table. Included for the placement ablation.
+
+use crate::mix::sub_seed;
+use crate::{ItemId, Placement, ServerId};
+
+/// The jump consistent hash function: maps `key` to a bucket in
+/// `0..buckets`.
+pub fn jump_hash(mut key: u64, buckets: usize) -> u32 {
+    assert!(buckets > 0, "need at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2862933555777941757).wrapping_add(1);
+        // Take the high 31 bits as the mantissa source, as in the paper.
+        j = ((b.wrapping_add(1) as f64) * ((1u64 << 31) as f64 / ((key >> 33) + 1) as f64)) as i64;
+    }
+    b as u32
+}
+
+/// `k`-replica placement by jump hashing with per-replica derived keys
+/// and collision probing (replica 0 = distinguished copy, stable across
+/// replication levels like the other placements).
+pub struct JumpPlacement {
+    num_servers: usize,
+    replication: usize,
+    seed: u64,
+}
+
+impl JumpPlacement {
+    /// Build a jump placement.
+    pub fn new(num_servers: usize, replication: usize, seed: u64) -> Self {
+        assert!(num_servers > 0, "placement needs at least one server");
+        assert!(replication >= 1, "replication must be at least 1");
+        JumpPlacement {
+            num_servers,
+            replication,
+            seed,
+        }
+    }
+}
+
+impl Placement for JumpPlacement {
+    fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    fn replication(&self) -> usize {
+        self.replication
+    }
+
+    fn replicas_into(&self, item: ItemId, out: &mut Vec<ServerId>) {
+        out.clear();
+        let want = self.replication.min(self.num_servers);
+        for r in 0..self.replication as u64 {
+            let mut probe = 0u64;
+            loop {
+                let key = item ^ sub_seed(self.seed, r * 1009 + probe);
+                let server = jump_hash(key, self.num_servers);
+                if !out.contains(&server) {
+                    out.push(server);
+                    break;
+                }
+                probe += 1;
+            }
+            if out.len() == want {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance_stats;
+
+    #[test]
+    fn single_bucket_maps_everything_to_zero() {
+        for key in [0u64, 1, u64::MAX] {
+            assert_eq!(jump_hash(key, 1), 0);
+        }
+    }
+
+    #[test]
+    fn buckets_in_range_and_deterministic() {
+        for key in 0..2000u64 {
+            let b = jump_hash(key, 37);
+            assert!(b < 37);
+            assert_eq!(b, jump_hash(key, 37));
+        }
+    }
+
+    #[test]
+    fn near_perfect_balance() {
+        let mut counts = vec![0usize; 16];
+        for key in 0..80_000u64 {
+            counts[jump_hash(key.wrapping_mul(0x9e37_79b9_7f4a_7c15), 16) as usize] += 1;
+        }
+        let (_, _, factor) = balance_stats(&counts);
+        assert!(
+            factor < 1.05,
+            "jump hash should balance tightly, got {factor}"
+        );
+    }
+
+    #[test]
+    fn minimal_movement_on_growth() {
+        // The defining property: growing from N to N+1 buckets moves keys
+        // only *into* the new bucket.
+        for n in [4usize, 16, 63] {
+            let mut moved = 0;
+            for key in 0..20_000u64 {
+                let before = jump_hash(key, n);
+                let after = jump_hash(key, n + 1);
+                if before != after {
+                    assert_eq!(after, n as u32, "key moved between old buckets");
+                    moved += 1;
+                }
+            }
+            // Expected ~ 20000/(n+1).
+            let expect = 20_000 / (n + 1);
+            assert!(
+                (moved as i64 - expect as i64).unsigned_abs() < (expect as u64 / 2).max(100),
+                "n={n}: moved {moved}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_distinct_replicas_and_prefix_stability() {
+        let p3 = JumpPlacement::new(16, 3, 5);
+        let p5 = JumpPlacement::new(16, 5, 5);
+        for item in 0..3000u64 {
+            let r3 = p3.replicas(item);
+            let mut sorted = r3.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate replicas {r3:?}");
+            assert_eq!(
+                &p5.replicas(item)[..3],
+                &r3[..],
+                "prefix stability violated"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_capped_at_cluster() {
+        let p = JumpPlacement::new(2, 6, 1);
+        for item in 0..100u64 {
+            let mut reps = p.replicas(item);
+            reps.sort_unstable();
+            assert_eq!(reps, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn replica_balance() {
+        let p = JumpPlacement::new(16, 3, 9);
+        let mut counts = vec![0usize; 16];
+        for item in 0..30_000u64 {
+            for s in p.replicas(item) {
+                counts[s as usize] += 1;
+            }
+        }
+        let (_, _, factor) = balance_stats(&counts);
+        assert!(factor < 1.05, "replica imbalance {factor}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Experiment metrics: the paper's TPR / TPRPS plus the transaction-size
+//! histogram the calibration layer consumes (Appendix).
+
+/// Accumulated counters over a measurement run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Requests executed.
+    pub requests: u64,
+    /// Round-1 (planned) transactions.
+    pub round1_txns: u64,
+    /// Round-2 transactions (bundled distinguished-copy fetches after
+    /// misses, §III-D).
+    pub round2_txns: u64,
+    /// Items assigned by plans (planned fetches, before misses).
+    pub planned_items: u64,
+    /// Planned fetches that missed (replica evicted).
+    pub planned_misses: u64,
+    /// Hitchhiker items appended to round-1 transactions.
+    pub hitchhiker_probes: u64,
+    /// Hitchhiker probes that hit.
+    pub hitchhiker_hits: u64,
+    /// Planned misses rescued by a hitchhiker hit elsewhere (no round-2
+    /// fetch needed).
+    pub misses_rescued_by_hitchhikers: u64,
+    /// Replica write-backs performed after misses.
+    pub writebacks: u64,
+    /// Write operations executed.
+    pub writes: u64,
+    /// Transactions spent on writes (`set`s to replicas and invalidation
+    /// `delete`s, §III-G / §IV).
+    pub write_txns: u64,
+    /// Invalidation `delete`s issued (InvalidateThenWrite policy only).
+    pub invalidations: u64,
+    /// Database fetches caused by distinguished-copy misses — only
+    /// possible under `DistinguishedMode::InLru` (no second service
+    /// class); always 0 with pinning, which is §III-D's guarantee.
+    pub db_fetches: u64,
+    /// `txn_size_hist[s]` = number of transactions that returned exactly
+    /// `s` items (both rounds; hitchhiker hits count, since the server
+    /// does per-item work only for items it actually returns).
+    pub txn_size_hist: Vec<u64>,
+}
+
+impl Metrics {
+    /// Record a transaction that returned `items` items.
+    pub fn record_txn_size(&mut self, items: usize) {
+        if items >= self.txn_size_hist.len() {
+            self.txn_size_hist.resize(items + 1, 0);
+        }
+        self.txn_size_hist[items] += 1;
+    }
+
+    /// Total read transactions (both rounds).
+    pub fn total_txns(&self) -> u64 {
+        self.round1_txns + self.round2_txns
+    }
+
+    /// All server transactions including the write path.
+    pub fn total_txns_with_writes(&self) -> u64 {
+        self.total_txns() + self.write_txns
+    }
+
+    /// Mean server transactions per operation (reads + writes) — the
+    /// §III-G metric that exposes when a workload is not read-mostly
+    /// enough for RnB.
+    pub fn txns_per_op(&self) -> f64 {
+        let ops = self.requests + self.writes;
+        if ops == 0 {
+            0.0
+        } else {
+            self.total_txns_with_writes() as f64 / ops as f64
+        }
+    }
+
+    /// Transactions Per Request — the paper's headline metric.
+    pub fn tpr(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_txns() as f64 / self.requests as f64
+        }
+    }
+
+    /// Transactions Per Request Per Server.
+    pub fn tprps(&self, servers: usize) -> f64 {
+        self.tpr() / servers as f64
+    }
+
+    /// Miss rate among planned fetches.
+    pub fn miss_rate(&self) -> f64 {
+        if self.planned_items == 0 {
+            0.0
+        } else {
+            self.planned_misses as f64 / self.planned_items as f64
+        }
+    }
+
+    /// Mean items returned per transaction.
+    pub fn mean_txn_size(&self) -> f64 {
+        let txns: u64 = self.txn_size_hist.iter().sum();
+        if txns == 0 {
+            return 0.0;
+        }
+        let items: u64 = self
+            .txn_size_hist
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| s as u64 * c)
+            .sum();
+        items as f64 / txns as f64
+    }
+
+    /// Fold another metrics block into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.requests += other.requests;
+        self.round1_txns += other.round1_txns;
+        self.round2_txns += other.round2_txns;
+        self.planned_items += other.planned_items;
+        self.planned_misses += other.planned_misses;
+        self.hitchhiker_probes += other.hitchhiker_probes;
+        self.hitchhiker_hits += other.hitchhiker_hits;
+        self.misses_rescued_by_hitchhikers += other.misses_rescued_by_hitchhikers;
+        self.writebacks += other.writebacks;
+        self.writes += other.writes;
+        self.write_txns += other.write_txns;
+        self.invalidations += other.invalidations;
+        self.db_fetches += other.db_fetches;
+        if other.txn_size_hist.len() > self.txn_size_hist.len() {
+            self.txn_size_hist.resize(other.txn_size_hist.len(), 0);
+        }
+        for (s, &c) in other.txn_size_hist.iter().enumerate() {
+            self.txn_size_hist[s] += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpr_and_tprps() {
+        let m = Metrics {
+            requests: 10,
+            round1_txns: 40,
+            round2_txns: 10,
+            ..Default::default()
+        };
+        assert!((m.tpr() - 5.0).abs() < 1e-12);
+        assert!((m.tprps(10) - 0.5).abs() < 1e-12);
+        assert_eq!(m.total_txns(), 50);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.tpr(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+        assert_eq!(m.mean_txn_size(), 0.0);
+    }
+
+    #[test]
+    fn histogram_and_mean_size() {
+        let mut m = Metrics::default();
+        m.record_txn_size(3);
+        m.record_txn_size(3);
+        m.record_txn_size(1);
+        m.record_txn_size(0);
+        assert_eq!(m.txn_size_hist, vec![1, 1, 0, 2]);
+        assert!((m.mean_txn_size() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn txns_per_op_mixes_reads_and_writes() {
+        let m = Metrics {
+            requests: 8,
+            round1_txns: 16,
+            writes: 2,
+            write_txns: 8,
+            invalidations: 6,
+            ..Default::default()
+        };
+        assert_eq!(m.total_txns_with_writes(), 24);
+        assert!((m.txns_per_op() - 2.4).abs() < 1e-12);
+        assert_eq!(Metrics::default().txns_per_op(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics {
+            requests: 1,
+            round1_txns: 2,
+            planned_items: 5,
+            txn_size_hist: vec![0, 1],
+            ..Default::default()
+        };
+        let b = Metrics {
+            requests: 2,
+            round2_txns: 3,
+            planned_misses: 1,
+            txn_size_hist: vec![0, 0, 4],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.total_txns(), 5);
+        assert_eq!(a.planned_misses, 1);
+        assert_eq!(a.txn_size_hist, vec![0, 1, 4]);
+        assert!((a.miss_rate() - 0.2).abs() < 1e-12);
+    }
+}

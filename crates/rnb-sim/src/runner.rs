@@ -1,0 +1,180 @@
+//! Experiment runner: warm-up + measurement over a request stream, with
+//! optional request merging and LIMIT clauses.
+
+use crate::cluster::SimCluster;
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use rnb_core::merge::MergingStream;
+use rnb_workload::{LimitSpec, RequestStream};
+
+/// An experiment: a simulated deployment driven by a request stream.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Deployment under test.
+    pub sim: SimConfig,
+    /// Requests executed before measurement starts (fills the adaptive
+    /// replica caches; metrics are discarded).
+    pub warmup_requests: usize,
+    /// Requests measured.
+    pub measure_requests: usize,
+    /// Merge window (§III-E): 1 = no merging, 2 = merge every two
+    /// consecutive requests, …
+    pub merge_window: usize,
+    /// LIMIT clause applied to every request (§III-F).
+    pub limit: LimitSpec,
+}
+
+impl ExperimentConfig {
+    /// Standard experiment: no merging, no LIMIT.
+    pub fn new(sim: SimConfig, warmup_requests: usize, measure_requests: usize) -> Self {
+        ExperimentConfig {
+            sim,
+            warmup_requests,
+            measure_requests,
+            merge_window: 1,
+            limit: LimitSpec::All,
+        }
+    }
+
+    /// Builder-style merge window.
+    pub fn with_merge_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "merge window must be >= 1");
+        self.merge_window = window;
+        self
+    }
+
+    /// Builder-style LIMIT clause.
+    pub fn with_limit(mut self, limit: LimitSpec) -> Self {
+        self.limit = limit;
+        self
+    }
+}
+
+/// Run an experiment over items `0..universe` with requests drawn from
+/// `stream`. Returns the measurement-phase metrics.
+///
+/// With merging enabled, *merged* requests count as one request each —
+/// matching the paper's Figs 9–10, where TPR is per merged request and
+/// the no-replication merged baseline is recomputed the same way.
+pub fn run_experiment(
+    config: &ExperimentConfig,
+    universe: usize,
+    stream: &mut dyn RequestStream,
+) -> Metrics {
+    let mut cluster = SimCluster::new(config.sim.clone(), universe);
+    let raw = std::iter::from_fn(|| Some(stream.next_request()));
+    let mut merged = MergingStream::new(raw, config.merge_window);
+
+    for _ in 0..config.warmup_requests {
+        let request = merged.next().expect("infinite stream");
+        execute_one(&mut cluster, &request, config.limit);
+    }
+    cluster.reset_metrics();
+    for _ in 0..config.measure_requests {
+        let request = merged.next().expect("infinite stream");
+        execute_one(&mut cluster, &request, config.limit);
+    }
+    cluster.metrics().clone()
+}
+
+fn execute_one(cluster: &mut SimCluster, request: &[u64], limit: LimitSpec) {
+    match limit {
+        LimitSpec::All => {
+            cluster.execute(request);
+        }
+        spec => {
+            cluster.execute_with_limit(request, Some(spec.min_items(request.len())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnb_workload::{EgoRequests, UniformRequests};
+
+    #[test]
+    fn basic_run_produces_metrics() {
+        let g = rnb_graph::generate::powerlaw_graph(2000, 1.8, 1, 200, 16_000, 11);
+        let mut stream = EgoRequests::new(&g, 1);
+        let cfg = ExperimentConfig::new(SimConfig::basic(16, 3), 50, 200);
+        let m = run_experiment(&cfg, g.num_nodes(), &mut stream);
+        assert_eq!(m.requests, 200);
+        assert!(m.tpr() >= 1.0);
+        assert_eq!(m.planned_misses, 0, "unlimited memory");
+    }
+
+    #[test]
+    fn replication_reduces_tpr_fig6_direction() {
+        let g = rnb_graph::generate::powerlaw_graph(2000, 1.8, 1, 200, 16_000, 12);
+        let tpr_of = |replication: usize| {
+            let mut stream = EgoRequests::new(&g, 2);
+            let cfg = ExperimentConfig::new(SimConfig::basic(16, replication), 0, 300);
+            run_experiment(&cfg, g.num_nodes(), &mut stream).tpr()
+        };
+        let t1 = tpr_of(1);
+        let t2 = tpr_of(2);
+        let t4 = tpr_of(4);
+        assert!(t2 < t1, "2 replicas should beat 1 ({t2} vs {t1})");
+        assert!(t4 < t2, "4 replicas should beat 2 ({t4} vs {t2})");
+        assert!(
+            t4 < 0.65 * t1,
+            "paper: ≥35% reduction at 4 replicas, got {t4}/{t1}"
+        );
+    }
+
+    #[test]
+    fn merging_reduces_absolute_tpr_per_user_request() {
+        let mut s1 = UniformRequests::new(5000, 20, 3);
+        let mut s2 = UniformRequests::new(5000, 20, 3);
+        let base = ExperimentConfig::new(SimConfig::basic(16, 2), 20, 200);
+        let merged = ExperimentConfig::new(SimConfig::basic(16, 2), 20, 200).with_merge_window(2);
+        let m1 = run_experiment(&base, 5000, &mut s1);
+        let m2 = run_experiment(&merged, 5000, &mut s2);
+        // A merged request carries ~2× the items; per *user* request the
+        // transaction cost must drop (that is why proxies merge).
+        let per_user_1 = m1.tpr();
+        let per_user_2 = m2.tpr() / 2.0;
+        assert!(per_user_2 < per_user_1, "{per_user_2} !< {per_user_1}");
+    }
+
+    #[test]
+    fn limit_reduces_tpr() {
+        let mut s1 = UniformRequests::new(5000, 40, 4);
+        let mut s2 = UniformRequests::new(5000, 40, 4);
+        let full = ExperimentConfig::new(SimConfig::basic(16, 2), 10, 150);
+        let lim = ExperimentConfig::new(SimConfig::basic(16, 2), 10, 150)
+            .with_limit(LimitSpec::Fraction(0.5));
+        let mf = run_experiment(&full, 5000, &mut s1);
+        let ml = run_experiment(&lim, 5000, &mut s2);
+        assert!(ml.tpr() < mf.tpr(), "LIMIT 50% should cut transactions");
+    }
+
+    #[test]
+    fn warmup_lowers_measured_miss_rate() {
+        let g = rnb_graph::generate::powerlaw_graph(1500, 1.8, 1, 150, 12_000, 13);
+        let run = |warmup: usize| {
+            let mut stream = EgoRequests::new(&g, 5);
+            let cfg = ExperimentConfig::new(
+                SimConfig::enhanced(8, 3, 2.0).with_hitchhiking(false),
+                warmup,
+                300,
+            );
+            run_experiment(&cfg, g.num_nodes(), &mut stream)
+        };
+        let cold = run(0);
+        let warm = run(2000);
+        assert!(
+            warm.miss_rate() < cold.miss_rate(),
+            "warm {} !< cold {}",
+            warm.miss_rate(),
+            cold.miss_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "merge window")]
+    fn zero_merge_window_rejected() {
+        ExperimentConfig::new(SimConfig::basic(2, 1), 0, 0).with_merge_window(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Standalone store daemon: a memcached-analog server speaking the text
+//! protocol subset (`get`/`gets`/`set`/`add`/`replace`/`cas`/`incr`/
+//! `decr`/`delete`/`stats`/`version`/`quit`).
+//!
+//! ```text
+//! cargo run --release -p rnb-store --bin rnb-stored -- [--port P] [--mem MB]
+//! # then: printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 P
+//! ```
+
+use rnb_store::{Store, StoreServer};
+use std::sync::Arc;
+
+fn main() {
+    let mut port: u16 = 11311;
+    let mut mem_mb: usize = 64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--port needs a number"));
+            }
+            "--mem" => {
+                mem_mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--mem needs a number (MB)"));
+            }
+            "--help" | "-h" => {
+                println!("usage: rnb-stored [--port P] [--mem MB]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let store = Arc::new(Store::new(mem_mb << 20));
+    // StoreServer binds an ephemeral port; for a daemon we want the
+    // requested one, so bind it ourselves by reusing the library after
+    // checking availability.
+    let server = match StoreServer::start_on(Arc::clone(&store), port) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot listen on port {port}: {e}")),
+    };
+    println!(
+        "rnb-stored listening on {} ({} MB budget)",
+        server.addr(),
+        mem_mb
+    );
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("rnb-stored: {msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,253 @@
+//! Blocking client for the memcached text protocol.
+
+use crate::protocol::read_line;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking connection to a [`crate::StoreServer`] (or any
+/// text-protocol memcached).
+pub struct StoreClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl StoreClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<StoreClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(StoreClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// `set key flags 0 len` + data. Errors on a non-`STORED` reply.
+    pub fn set(&mut self, key: &[u8], value: &[u8], flags: u32) -> io::Result<()> {
+        self.writer.write_all(b"set ")?;
+        self.writer.write_all(key)?;
+        write!(self.writer, " {flags} 0 {}\r\n", value.len())?;
+        self.writer.write_all(value)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+        let line = self.expect_line()?;
+        if line != b"STORED" {
+            return Err(proto_err(format!(
+                "set failed: {}",
+                String::from_utf8_lossy(&line)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Multi-get. Returns, per requested key, `Some((data, flags))` on a
+    /// hit and `None` on a miss.
+    #[allow(clippy::type_complexity)]
+    pub fn get_multi(&mut self, keys: &[&[u8]]) -> io::Result<Vec<Option<(Vec<u8>, u32)>>> {
+        let full = self.gets_inner(keys, false)?;
+        Ok(full
+            .into_iter()
+            .map(|o| o.map(|(d, f, _)| (d, f)))
+            .collect())
+    }
+
+    /// `gets` multi-get: like [`StoreClient::get_multi`] but each hit also
+    /// carries its CAS token.
+    #[allow(clippy::type_complexity)]
+    pub fn gets_multi(&mut self, keys: &[&[u8]]) -> io::Result<Vec<Option<(Vec<u8>, u32, u64)>>> {
+        self.gets_inner(keys, true)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn gets_inner(
+        &mut self,
+        keys: &[&[u8]],
+        with_cas: bool,
+    ) -> io::Result<Vec<Option<(Vec<u8>, u32, u64)>>> {
+        assert!(!keys.is_empty(), "get_multi needs at least one key");
+        self.writer
+            .write_all(if with_cas { b"gets" } else { b"get" })?;
+        for key in keys {
+            self.writer.write_all(b" ")?;
+            self.writer.write_all(key)?;
+        }
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+
+        let mut found: HashMap<Vec<u8>, (Vec<u8>, u32, u64)> = HashMap::new();
+        loop {
+            let line = self.expect_line()?;
+            if line == b"END" {
+                break;
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            let mut parts = text.split_whitespace();
+            if parts.next() != Some("VALUE") {
+                return Err(proto_err(format!("unexpected get reply: {text}")));
+            }
+            let key = parts
+                .next()
+                .ok_or_else(|| proto_err("VALUE missing key".into()))?;
+            let flags: u32 = parts
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| proto_err("VALUE missing flags".into()))?;
+            let len: usize = parts
+                .next()
+                .and_then(|l| l.parse().ok())
+                .ok_or_else(|| proto_err("VALUE missing length".into()))?;
+            let cas: u64 = if with_cas {
+                parts
+                    .next()
+                    .and_then(|c| c.parse().ok())
+                    .ok_or_else(|| proto_err("VALUE missing cas token".into()))?
+            } else {
+                0
+            };
+            let data = crate::protocol::read_data_block(&mut self.reader, len)?;
+            found.insert(key.as_bytes().to_vec(), (data, flags, cas));
+        }
+        Ok(keys.iter().map(|k| found.get(*k).cloned()).collect())
+    }
+
+    /// `add`: true if stored (key was absent).
+    pub fn add(&mut self, key: &[u8], value: &[u8], flags: u32) -> io::Result<bool> {
+        self.store_like("add", key, value, flags, None)
+    }
+
+    /// `replace`: true if stored (key existed).
+    pub fn replace(&mut self, key: &[u8], value: &[u8], flags: u32) -> io::Result<bool> {
+        self.store_like("replace", key, value, flags, None)
+    }
+
+    /// `cas`: `Ok(true)` if swapped, `Ok(false)` on a stale token or a
+    /// missing key.
+    pub fn cas(&mut self, key: &[u8], value: &[u8], flags: u32, token: u64) -> io::Result<bool> {
+        self.store_like("cas", key, value, flags, Some(token))
+    }
+
+    fn store_like(
+        &mut self,
+        verb: &str,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        token: Option<u64>,
+    ) -> io::Result<bool> {
+        write!(self.writer, "{verb} ")?;
+        self.writer.write_all(key)?;
+        match token {
+            Some(t) => write!(self.writer, " {flags} 0 {} {t}\r\n", value.len())?,
+            None => write!(self.writer, " {flags} 0 {}\r\n", value.len())?,
+        }
+        self.writer.write_all(value)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+        let line = self.expect_line()?;
+        match line.as_slice() {
+            b"STORED" => Ok(true),
+            b"NOT_STORED" | b"EXISTS" | b"NOT_FOUND" => Ok(false),
+            other => Err(proto_err(format!(
+                "{verb}: {}",
+                String::from_utf8_lossy(other)
+            ))),
+        }
+    }
+
+    /// `incr`/`decr`; `Ok(None)` if the key is missing.
+    pub fn arith(&mut self, key: &[u8], delta: u64, negative: bool) -> io::Result<Option<u64>> {
+        write!(self.writer, "{} ", if negative { "decr" } else { "incr" })?;
+        self.writer.write_all(key)?;
+        write!(self.writer, " {delta}\r\n")?;
+        self.writer.flush()?;
+        let line = self.expect_line()?;
+        if line == b"NOT_FOUND" {
+            return Ok(None);
+        }
+        let text = String::from_utf8_lossy(&line).into_owned();
+        text.trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| proto_err(format!("arith reply: {text}")))
+    }
+
+    /// `delete key`; true if the server deleted it.
+    pub fn delete(&mut self, key: &[u8]) -> io::Result<bool> {
+        self.writer.write_all(b"delete ")?;
+        self.writer.write_all(key)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+        let line = self.expect_line()?;
+        match line.as_slice() {
+            b"DELETED" => Ok(true),
+            b"NOT_FOUND" => Ok(false),
+            other => Err(proto_err(format!(
+                "delete: {}",
+                String::from_utf8_lossy(other)
+            ))),
+        }
+    }
+
+    /// `stats` as a name → value map.
+    pub fn stats(&mut self) -> io::Result<HashMap<String, String>> {
+        self.writer.write_all(b"stats\r\n")?;
+        self.writer.flush()?;
+        let mut out = HashMap::new();
+        loop {
+            let line = self.expect_line()?;
+            if line == b"END" {
+                break;
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            let mut parts = text.split_whitespace();
+            if parts.next() != Some("STAT") {
+                return Err(proto_err(format!("unexpected stats reply: {text}")));
+            }
+            let name = parts.next().unwrap_or_default().to_string();
+            let value = parts.next().unwrap_or_default().to_string();
+            out.insert(name, value);
+        }
+        Ok(out)
+    }
+
+    /// `version` banner.
+    pub fn version(&mut self) -> io::Result<String> {
+        self.writer.write_all(b"version\r\n")?;
+        self.writer.flush()?;
+        let line = self.expect_line()?;
+        Ok(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Send a raw line and return the single reply line (test helper for
+    /// error paths).
+    pub fn raw_command(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let reply = self.expect_line()?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    fn expect_line(&mut self) -> io::Result<Vec<u8>> {
+        read_line(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+}
+
+// Client behaviour is exercised end-to-end in `server::tests` and the
+// load-generator tests; unit tests here cover argument validation.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_closed_port_fails() {
+        // Port 1 on loopback is essentially never listening.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(StoreClient::connect(addr).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! A memcached-analog RAM key-value store — the substrate the paper's
+//! micro-benchmarks run against (Appendix).
+//!
+//! The paper calibrates its simulator with memaslap against a real
+//! memcached over 1 GbE. We reproduce the substrate from scratch:
+//!
+//! * [`shard::Shard`] — a byte-budgeted LRU hash table with **pinning**
+//!   (the mechanism behind RnB distinguished copies) — memcached's
+//!   `-m`-bounded slab+LRU behaviour at item granularity.
+//! * [`store::Store`] — a sharded concurrent store (parking_lot mutex per
+//!   shard, xxHash shard selection) with memcached-style counters.
+//! * [`protocol`] — the memcached **text protocol** subset the experiments
+//!   need: `get` (multi-key), `set`, `delete`, `stats`, `version`, `quit`.
+//! * [`server`] / [`client`] — a threaded TCP server and a blocking
+//!   client, so the micro-benchmark runs over a real socket like the
+//!   original (loopback stands in for the paper's dedicated LAN cable —
+//!   see DESIGN.md "Substitutions").
+//! * [`loadgen`] — the memaslap analog: concurrent clients issuing
+//!   multi-gets of a fixed transaction size (10-byte values, one `set`
+//!   per 1000 `get` items, like the paper's configuration), reporting
+//!   items/sec per transaction size — the Fig 13/14 measurement.
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod stats;
+pub mod store;
+pub mod udp;
+
+pub use client::StoreClient;
+pub use loadgen::{run_load, LoadReport, LoadSpec};
+pub use server::StoreServer;
+pub use store::Store;
+pub use udp::{UdpStoreClient, UdpStoreServer};

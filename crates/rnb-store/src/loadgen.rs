@@ -1,0 +1,233 @@
+//! The memaslap analog: a multi-threaded load generator measuring items
+//! fetched per second versus items per transaction (Appendix, Figs 13–14).
+//!
+//! Paper configuration reproduced: "extremely small items, 10 bytes each",
+//! "one set transaction of a single item for every 1000 items fetched by
+//! get transactions", TCP with per-connection clients.
+
+use crate::client::StoreClient;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Concurrent client connections (the paper's Fig 13 uses one client
+    /// machine; Fig 14 uses two).
+    pub clients: usize,
+    /// Items per get transaction.
+    pub txn_size: usize,
+    /// Keys pre-populated and drawn from.
+    pub keyspace: usize,
+    /// Value size in bytes (paper: 10).
+    pub value_len: usize,
+    /// Issue one single-item `set` per this many `get` items (paper:
+    /// 1000). 0 disables sets.
+    pub set_every_items: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+}
+
+impl LoadSpec {
+    /// The paper's memaslap settings at a given transaction size.
+    pub fn paper_style(clients: usize, txn_size: usize, duration: Duration) -> Self {
+        LoadSpec {
+            clients,
+            txn_size,
+            keyspace: 10_000,
+            value_len: 10,
+            set_every_items: 1000,
+            duration,
+        }
+    }
+}
+
+/// Aggregated measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Get transactions completed (all clients).
+    pub get_txns: u64,
+    /// Items fetched.
+    pub items: u64,
+    /// Set transactions issued.
+    pub sets: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+impl LoadReport {
+    /// Items fetched per second — the Fig 13/14 y-axis.
+    pub fn items_per_sec(&self) -> f64 {
+        self.items as f64 / self.elapsed_secs
+    }
+
+    /// Get transactions per second.
+    pub fn txns_per_sec(&self) -> f64 {
+        self.get_txns as f64 / self.elapsed_secs
+    }
+}
+
+/// Key for index `i` (shared by population and load phases).
+pub fn key_of(i: usize) -> Vec<u8> {
+    format!("memaslap-{i:08}").into_bytes()
+}
+
+/// Pre-populate `keyspace` keys with `value_len`-byte values.
+pub fn populate(addr: SocketAddr, keyspace: usize, value_len: usize) -> std::io::Result<()> {
+    let mut client = StoreClient::connect(addr)?;
+    let value = vec![b'v'; value_len];
+    for i in 0..keyspace {
+        client.set(&key_of(i), &value, 0)?;
+    }
+    Ok(())
+}
+
+/// Run the load against `addr` per `spec`; the store must already be
+/// populated (see [`populate`]). Returns the aggregated report.
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport> {
+    assert!(spec.clients >= 1, "need at least one client");
+    assert!(spec.txn_size >= 1, "transactions carry at least one item");
+    assert!(
+        spec.keyspace >= spec.txn_size,
+        "keyspace smaller than one transaction"
+    );
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(spec.clients);
+    for c in 0..spec.clients {
+        let spec = *spec;
+        handles.push(std::thread::spawn(
+            move || -> std::io::Result<(u64, u64, u64)> {
+                let mut client = StoreClient::connect(addr)?;
+                let value = vec![b'v'; spec.value_len];
+                // Cheap deterministic per-client LCG; measurement noise is
+                // dominated by syscalls, not key choice.
+                let mut state = 0x9e3779b97f4a7c15u64.wrapping_mul(c as u64 + 1) | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let (mut txns, mut items, mut sets) = (0u64, 0u64, 0u64);
+                let mut items_since_set = 0usize;
+                let deadline = Instant::now() + spec.duration;
+                let mut keys: Vec<Vec<u8>> = Vec::with_capacity(spec.txn_size);
+                while Instant::now() < deadline {
+                    keys.clear();
+                    let base = next() as usize % spec.keyspace;
+                    for j in 0..spec.txn_size {
+                        keys.push(key_of((base + j) % spec.keyspace));
+                    }
+                    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                    let got = client.get_multi(&refs)?;
+                    txns += 1;
+                    items += got.iter().filter(|v| v.is_some()).count() as u64;
+                    items_since_set += spec.txn_size;
+                    if spec.set_every_items > 0 && items_since_set >= spec.set_every_items {
+                        items_since_set = 0;
+                        client.set(&key_of(next() as usize % spec.keyspace), &value, 0)?;
+                        sets += 1;
+                    }
+                }
+                Ok((txns, items, sets))
+            },
+        ));
+    }
+
+    let mut report = LoadReport {
+        get_txns: 0,
+        items: 0,
+        sets: 0,
+        elapsed_secs: 0.0,
+    };
+    for h in handles {
+        let (txns, items, sets) = h
+            .join()
+            .map_err(|_| std::io::Error::other("load thread panicked"))??;
+        report.get_txns += txns;
+        report.items += items;
+        report.sets += sets;
+    }
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::StoreServer;
+    use crate::store::Store;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_run_fetches_everything_it_asks_for() {
+        let server = StoreServer::start(Arc::new(Store::new(1 << 24))).unwrap();
+        populate(server.addr(), 500, 10).unwrap();
+        let spec = LoadSpec {
+            clients: 2,
+            txn_size: 10,
+            keyspace: 500,
+            value_len: 10,
+            set_every_items: 100,
+            duration: Duration::from_millis(200),
+        };
+        let report = run_load(server.addr(), &spec).unwrap();
+        assert!(report.get_txns > 0, "no transactions completed");
+        // Fully populated keyspace → 100% hits → items = txns × size.
+        assert_eq!(report.items, report.get_txns * 10);
+        assert!(report.sets > 0);
+        assert!(report.items_per_sec() > 0.0);
+        assert!(report.txns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn bigger_transactions_fetch_more_items_per_sec() {
+        // The core Fig 13 observation, at miniature scale. Loopback and
+        // CI noise allow rare inversions, so compare 1 vs 8 items with a
+        // generous margin.
+        let server = StoreServer::start(Arc::new(Store::new(1 << 24))).unwrap();
+        populate(server.addr(), 2000, 10).unwrap();
+        let run = |txn_size| {
+            let spec = LoadSpec {
+                clients: 1,
+                txn_size,
+                keyspace: 2000,
+                value_len: 10,
+                set_every_items: 0,
+                duration: Duration::from_millis(300),
+            };
+            run_load(server.addr(), &spec).unwrap().items_per_sec()
+        };
+        let small = run(1);
+        let big = run(8);
+        assert!(
+            big > 2.0 * small,
+            "8-item transactions should fetch far more items/s: {big} vs {small}"
+        );
+    }
+
+    #[test]
+    fn paper_style_spec() {
+        let spec = LoadSpec::paper_style(2, 64, Duration::from_secs(1));
+        assert_eq!(spec.clients, 2);
+        assert_eq!(spec.txn_size, 64);
+        assert_eq!(spec.value_len, 10);
+        assert_eq!(spec.set_every_items, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyspace smaller")]
+    fn undersized_keyspace_rejected() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let spec = LoadSpec {
+            clients: 1,
+            txn_size: 10,
+            keyspace: 5,
+            value_len: 10,
+            set_every_items: 0,
+            duration: Duration::from_millis(1),
+        };
+        let _ = run_load(addr, &spec);
+    }
+}

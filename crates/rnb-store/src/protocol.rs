@@ -1,0 +1,513 @@
+//! The memcached **text protocol** subset used by the experiments:
+//! `get` (multi-key), `set`, `delete`, `stats`, `version`, `quit`.
+//!
+//! Reference: memcached's `doc/protocol.txt`. Requests are CRLF-terminated
+//! lines; `set` is followed by a data block of the declared length plus
+//! CRLF.
+
+use std::io::{self, BufRead, Write};
+
+/// Which storage verb a `set`-shaped command carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreVerb {
+    /// Unconditional store.
+    Set,
+    /// Store only if absent.
+    Add,
+    /// Store only if present.
+    Replace,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>+` / `gets <key>+` — multi-key get (one *transaction* in
+    /// paper terms). `gets` additionally returns the CAS token.
+    Get {
+        /// Requested keys.
+        keys: Vec<Vec<u8>>,
+        /// True for `gets` (include CAS tokens in the reply).
+        with_cas: bool,
+    },
+    /// `set|add|replace <key> <flags> <exptime> <bytes> [noreply]`.
+    Set {
+        /// Which conditional variant.
+        verb: StoreVerb,
+        /// Entry key.
+        key: Vec<u8>,
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (0 = never; memcached's absolute-time form
+        /// for values > 30 days is not needed by the experiments).
+        exptime: u32,
+        /// Data block length that follows.
+        bytes: usize,
+        /// Suppress the reply line.
+        noreply: bool,
+    },
+    /// `cas <key> <flags> <exptime> <bytes> <cas> [noreply]`.
+    Cas {
+        /// Entry key.
+        key: Vec<u8>,
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (0 = never).
+        exptime: u32,
+        /// Data block length that follows.
+        bytes: usize,
+        /// The token from a previous `gets`.
+        cas: u64,
+        /// Suppress the reply line.
+        noreply: bool,
+    },
+    /// `incr <key> <delta>` / `decr <key> <delta>`.
+    Arith {
+        /// Entry key.
+        key: Vec<u8>,
+        /// Unsigned delta.
+        delta: u64,
+        /// True for `decr`.
+        negative: bool,
+        /// Suppress the reply line.
+        noreply: bool,
+    },
+    /// `delete <key> [noreply]`.
+    Delete {
+        /// Entry key.
+        key: Vec<u8>,
+        /// Suppress the reply line.
+        noreply: bool,
+    },
+    /// `stats`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit` — close the connection.
+    Quit,
+}
+
+/// Maximum key length (memcached's limit).
+pub const MAX_KEY_LEN: usize = 250;
+
+/// Parse one request line (without the trailing CRLF).
+pub fn parse_command(line: &[u8]) -> Result<Command, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "non-utf8 command line".to_string())?;
+    let mut parts = text.split_whitespace();
+    let verb = parts.next().ok_or_else(|| "empty command".to_string())?;
+    match verb {
+        "get" | "gets" => {
+            let keys: Vec<Vec<u8>> = parts.map(|k| k.as_bytes().to_vec()).collect();
+            if keys.is_empty() {
+                return Err("get requires at least one key".into());
+            }
+            for k in &keys {
+                validate_key(k)?;
+            }
+            Ok(Command::Get {
+                keys,
+                with_cas: verb == "gets",
+            })
+        }
+        "set" | "add" | "replace" | "cas" => {
+            let key = parts.next().ok_or("missing key")?.as_bytes().to_vec();
+            validate_key(&key)?;
+            let flags: u32 = parts
+                .next()
+                .ok_or("missing flags")?
+                .parse()
+                .map_err(|_| "bad flags")?;
+            let exptime: u32 = parts
+                .next()
+                .ok_or("missing exptime")?
+                .parse()
+                .map_err(|_| "bad exptime")?;
+            let bytes: usize = parts
+                .next()
+                .ok_or("missing bytes")?
+                .parse()
+                .map_err(|_| "bad bytes")?;
+            let cas: u64 = if verb == "cas" {
+                parts
+                    .next()
+                    .ok_or("cas: missing token")?
+                    .parse()
+                    .map_err(|_| "bad cas token")?
+            } else {
+                0
+            };
+            let noreply = match parts.next() {
+                None => false,
+                Some("noreply") => true,
+                Some(other) => return Err(format!("{verb}: unexpected token {other:?}")),
+            };
+            Ok(match verb {
+                "cas" => Command::Cas {
+                    key,
+                    flags,
+                    exptime,
+                    bytes,
+                    cas,
+                    noreply,
+                },
+                "add" => Command::Set {
+                    verb: StoreVerb::Add,
+                    key,
+                    flags,
+                    exptime,
+                    bytes,
+                    noreply,
+                },
+                "replace" => Command::Set {
+                    verb: StoreVerb::Replace,
+                    key,
+                    flags,
+                    exptime,
+                    bytes,
+                    noreply,
+                },
+                _ => Command::Set {
+                    verb: StoreVerb::Set,
+                    key,
+                    flags,
+                    exptime,
+                    bytes,
+                    noreply,
+                },
+            })
+        }
+        "incr" | "decr" => {
+            let key = parts.next().ok_or("missing key")?.as_bytes().to_vec();
+            validate_key(&key)?;
+            let delta: u64 = parts
+                .next()
+                .ok_or("missing delta")?
+                .parse()
+                .map_err(|_| "bad delta")?;
+            let noreply = match parts.next() {
+                None => false,
+                Some("noreply") => true,
+                Some(other) => return Err(format!("{verb}: unexpected token {other:?}")),
+            };
+            Ok(Command::Arith {
+                key,
+                delta,
+                negative: verb == "decr",
+                noreply,
+            })
+        }
+        "delete" => {
+            let key = parts
+                .next()
+                .ok_or("delete: missing key")?
+                .as_bytes()
+                .to_vec();
+            validate_key(&key)?;
+            let noreply = match parts.next() {
+                None => false,
+                Some("noreply") => true,
+                Some(other) => return Err(format!("delete: unexpected token {other:?}")),
+            };
+            Ok(Command::Delete { key, noreply })
+        }
+        "stats" => Ok(Command::Stats),
+        "version" => Ok(Command::Version),
+        "quit" => Ok(Command::Quit),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn validate_key(key: &[u8]) -> Result<(), String> {
+    if key.is_empty() {
+        return Err("empty key".into());
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err(format!("key longer than {MAX_KEY_LEN}"));
+    }
+    if key.iter().any(|&b| b <= b' ' || b == 0x7f) {
+        return Err("key contains control or space characters".into());
+    }
+    Ok(())
+}
+
+/// Read one CRLF (or bare-LF) terminated line. `Ok(None)` on clean EOF.
+pub fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::with_capacity(64);
+    let n = reader.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    Ok(Some(buf))
+}
+
+/// Read a `set` data block of `len` bytes plus its trailing CRLF.
+pub fn read_data_block<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut data = vec![0u8; len];
+    reader.read_exact(&mut data)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "data block not CRLF-terminated",
+        ));
+    }
+    Ok(data)
+}
+
+/// Write one `VALUE` stanza of a get response. `cas` adds the token
+/// (the `gets` reply form).
+pub fn write_value<W: Write>(
+    w: &mut W,
+    key: &[u8],
+    flags: u32,
+    data: &[u8],
+    cas: Option<u64>,
+) -> io::Result<()> {
+    w.write_all(b"VALUE ")?;
+    w.write_all(key)?;
+    match cas {
+        Some(token) => write!(w, " {flags} {} {token}\r\n", data.len())?,
+        None => write!(w, " {flags} {}\r\n", data.len())?,
+    }
+    w.write_all(data)?;
+    w.write_all(b"\r\n")
+}
+
+/// Terminate a get/stats response.
+pub fn write_end<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(b"END\r\n")
+}
+
+/// Canned reply lines.
+pub mod reply {
+    /// Reply to a successful `set`/`add`/`replace`/`cas`.
+    pub const STORED: &[u8] = b"STORED\r\n";
+    /// Reply to a conditional store whose condition failed
+    /// (`add` on existing / `replace` on missing).
+    pub const NOT_STORED: &[u8] = b"NOT_STORED\r\n";
+    /// Reply to a `cas` with a stale token.
+    pub const EXISTS: &[u8] = b"EXISTS\r\n";
+    /// Reply to a `set` refused for memory.
+    pub const OOM: &[u8] = b"SERVER_ERROR out of memory storing object\r\n";
+    /// Reply to a successful `delete`.
+    pub const DELETED: &[u8] = b"DELETED\r\n";
+    /// Reply to a `delete`/`cas`/`incr` of a missing key.
+    pub const NOT_FOUND: &[u8] = b"NOT_FOUND\r\n";
+    /// Reply to `incr`/`decr` on a non-numeric value.
+    pub const NON_NUMERIC: &[u8] =
+        b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n";
+    /// Version banner.
+    pub const VERSION: &[u8] = b"VERSION rnb-store 0.1.0\r\n";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_get_multi() {
+        let cmd = parse_command(b"get a bb ccc").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Get {
+                keys: vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()],
+                with_cas: false
+            }
+        );
+        let cmd = parse_command(b"gets a").unwrap();
+        assert!(matches!(cmd, Command::Get { with_cas: true, .. }));
+    }
+
+    #[test]
+    fn parse_set_with_and_without_noreply() {
+        let cmd = parse_command(b"set mykey 7 0 10").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Set {
+                verb: StoreVerb::Set,
+                key: b"mykey".to_vec(),
+                flags: 7,
+                exptime: 0,
+                bytes: 10,
+                noreply: false
+            }
+        );
+        let cmd = parse_command(b"set mykey 0 0 3 noreply").unwrap();
+        assert!(matches!(cmd, Command::Set { noreply: true, .. }));
+    }
+
+    #[test]
+    fn parse_add_replace_cas_arith() {
+        assert!(matches!(
+            parse_command(b"add k 0 0 5").unwrap(),
+            Command::Set {
+                verb: StoreVerb::Add,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_command(b"replace k 0 60 5").unwrap(),
+            Command::Set {
+                verb: StoreVerb::Replace,
+                exptime: 60,
+                ..
+            }
+        ));
+        assert_eq!(
+            parse_command(b"cas k 1 0 5 42").unwrap(),
+            Command::Cas {
+                key: b"k".to_vec(),
+                flags: 1,
+                exptime: 0,
+                bytes: 5,
+                cas: 42,
+                noreply: false
+            }
+        );
+        assert_eq!(
+            parse_command(b"incr n 3").unwrap(),
+            Command::Arith {
+                key: b"n".to_vec(),
+                delta: 3,
+                negative: false,
+                noreply: false
+            }
+        );
+        assert!(matches!(
+            parse_command(b"decr n 1 noreply").unwrap(),
+            Command::Arith {
+                negative: true,
+                noreply: true,
+                ..
+            }
+        ));
+        assert!(
+            parse_command(b"cas k 1 0 5").is_err(),
+            "cas requires a token"
+        );
+        assert!(parse_command(b"incr n").is_err());
+        assert!(parse_command(b"incr n x").is_err());
+    }
+
+    #[test]
+    fn parse_delete_stats_version_quit() {
+        assert_eq!(
+            parse_command(b"delete k").unwrap(),
+            Command::Delete {
+                key: b"k".to_vec(),
+                noreply: false
+            }
+        );
+        assert_eq!(parse_command(b"stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command(b"version").unwrap(), Command::Version);
+        assert_eq!(parse_command(b"quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_command(b"").is_err());
+        assert!(parse_command(b"bogus x").is_err());
+        assert!(parse_command(b"get").is_err());
+        assert!(parse_command(b"set k x 0 5").is_err());
+        assert!(parse_command(b"set k 0 0 5 replyno").is_err());
+        assert!(parse_command(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn key_validation() {
+        let long = vec![b'k'; 251];
+        assert!(parse_command(&[b"get ", &long[..]].concat()).is_err());
+        let ok = vec![b'k'; 250];
+        assert!(parse_command(&[b"get ", &ok[..]].concat()).is_ok());
+    }
+
+    #[test]
+    fn read_line_handles_crlf_lf_eof() {
+        let mut cursor = io::Cursor::new(b"abc\r\ndef\nxyz".to_vec());
+        assert_eq!(read_line(&mut cursor).unwrap(), Some(b"abc".to_vec()));
+        assert_eq!(read_line(&mut cursor).unwrap(), Some(b"def".to_vec()));
+        assert_eq!(read_line(&mut cursor).unwrap(), Some(b"xyz".to_vec()));
+        assert_eq!(read_line(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn data_block_roundtrip() {
+        let mut cursor = io::Cursor::new(b"hello\r\n".to_vec());
+        assert_eq!(read_data_block(&mut cursor, 5).unwrap(), b"hello".to_vec());
+        let mut bad = io::Cursor::new(b"helloXY".to_vec());
+        assert!(read_data_block(&mut bad, 5).is_err());
+    }
+
+    mod fuzz {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The parser never panics on arbitrary input.
+            #[test]
+            fn parse_never_panics(line in proptest::collection::vec(any::<u8>(), 0..120)) {
+                let _ = parse_command(&line);
+            }
+
+            /// Well-formed generated commands parse to the right variant.
+            #[test]
+            fn valid_commands_parse(
+                key in "[a-zA-Z0-9_.-]{1,40}",
+                flags in any::<u32>(),
+                bytes in 0usize..65536,
+                delta in any::<u64>(),
+            ) {
+                let set = format!("set {key} {flags} 0 {bytes}");
+                let set_ok = matches!(
+                    parse_command(set.as_bytes()),
+                    Ok(Command::Set { verb: StoreVerb::Set, .. })
+                );
+                prop_assert!(set_ok);
+                let get = format!("get {key}");
+                let get_ok = matches!(parse_command(get.as_bytes()), Ok(Command::Get { .. }));
+                prop_assert!(get_ok);
+                let incr = format!("incr {key} {delta}");
+                let incr_ok =
+                    matches!(parse_command(incr.as_bytes()), Ok(Command::Arith { .. }));
+                prop_assert!(incr_ok);
+            }
+
+            /// Binary values of any content survive a write_value/read
+            /// round-trip through the wire format.
+            #[test]
+            fn value_roundtrip(
+                key in "[a-z0-9]{1,30}",
+                data in proptest::collection::vec(any::<u8>(), 0..2000),
+                flags in any::<u32>(),
+            ) {
+                let mut wire = Vec::new();
+                write_value(&mut wire, key.as_bytes(), flags, &data, None).unwrap();
+                let mut cursor = std::io::Cursor::new(wire);
+                let header = read_line(&mut cursor).unwrap().unwrap();
+                let text = String::from_utf8(header).unwrap();
+                let mut parts = text.split_whitespace();
+                prop_assert_eq!(parts.next(), Some("VALUE"));
+                prop_assert_eq!(parts.next(), Some(key.as_str()));
+                prop_assert_eq!(parts.next().unwrap().parse::<u32>().unwrap(), flags);
+                let len: usize = parts.next().unwrap().parse().unwrap();
+                prop_assert_eq!(len, data.len());
+                let got = read_data_block(&mut cursor, len).unwrap();
+                prop_assert_eq!(got, data);
+            }
+        }
+    }
+
+    #[test]
+    fn value_stanza_format() {
+        let mut out = Vec::new();
+        write_value(&mut out, b"k1", 9, b"0123456789", None).unwrap();
+        write_end(&mut out).unwrap();
+        assert_eq!(&out[..], b"VALUE k1 9 10\r\n0123456789\r\nEND\r\n");
+        let mut with_cas = Vec::new();
+        write_value(&mut with_cas, b"k1", 9, b"ab", Some(77)).unwrap();
+        assert_eq!(&with_cas[..], b"VALUE k1 9 2 77\r\nab\r\n");
+    }
+}

@@ -1,0 +1,374 @@
+//! Threaded TCP server speaking the memcached text protocol.
+
+use crate::protocol::{self, reply, Command, StoreVerb};
+use crate::shard::{ArithOutcome, CasOutcome, SetOutcome};
+use crate::store::Store;
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running store server. Dropping the handle shuts the server down,
+/// severing live connections (so tests can inject server failures).
+pub struct StoreServer {
+    addr: SocketAddr,
+    store: Arc<Store>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl StoreServer {
+    /// Start a server for `store` on a loopback port chosen by the OS.
+    pub fn start(store: Arc<Store>) -> std::io::Result<StoreServer> {
+        Self::start_on(store, 0)
+    }
+
+    /// Start on a specific loopback port (0 = OS-chosen).
+    pub fn start_on(store: Arc<Store>, port: u16) -> std::io::Result<StoreServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_store = Arc::clone(&store);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if let Ok(clone) = stream.try_clone() {
+                            accept_conns.lock().push(clone);
+                        }
+                        let store = Arc::clone(&accept_store);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &store);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(StoreServer {
+            addr,
+            store,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Stop accepting connections, sever every live connection, and join
+    /// the accept thread. Clients with open connections observe I/O
+    /// errors on their next operation — a crashed server, from their
+    /// point of view.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// memcached `exptime` semantics for the range the experiments use:
+/// 0 = never expires, otherwise relative seconds.
+fn ttl_of(exptime: u32) -> Option<Duration> {
+    (exptime > 0).then(|| Duration::from_secs(exptime as u64))
+}
+
+fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    while let Some(line) = protocol::read_line(&mut reader)? {
+        if line.is_empty() {
+            continue;
+        }
+        match protocol::parse_command(&line) {
+            Ok(Command::Get { keys, with_cas }) => {
+                let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                let values = store.get_multi(&refs);
+                for (key, value) in keys.iter().zip(values) {
+                    if let Some(v) = value {
+                        let cas = with_cas.then_some(v.cas);
+                        protocol::write_value(&mut writer, key, v.flags, &v.data, cas)?;
+                    }
+                }
+                protocol::write_end(&mut writer)?;
+            }
+            Ok(Command::Set {
+                verb,
+                key,
+                flags,
+                exptime,
+                bytes,
+                noreply,
+            }) => {
+                let data = protocol::read_data_block(&mut reader, bytes)?;
+                let ttl = ttl_of(exptime);
+                let outcome = match verb {
+                    StoreVerb::Set => Some(store.set_with_ttl(&key, &data, flags, false, ttl)),
+                    StoreVerb::Add => store.add(&key, &data, flags, ttl),
+                    StoreVerb::Replace => store.replace(&key, &data, flags, ttl),
+                };
+                if !noreply {
+                    match outcome {
+                        Some(SetOutcome::Stored { .. }) => writer.write_all(reply::STORED)?,
+                        Some(SetOutcome::OutOfMemory) => writer.write_all(reply::OOM)?,
+                        None => writer.write_all(reply::NOT_STORED)?,
+                    }
+                }
+            }
+            Ok(Command::Cas {
+                key,
+                flags,
+                exptime,
+                bytes,
+                cas,
+                noreply,
+            }) => {
+                let data = protocol::read_data_block(&mut reader, bytes)?;
+                let outcome = store.cas(&key, &data, flags, cas, ttl_of(exptime));
+                if !noreply {
+                    match outcome {
+                        CasOutcome::Stored => writer.write_all(reply::STORED)?,
+                        CasOutcome::Exists => writer.write_all(reply::EXISTS)?,
+                        CasOutcome::NotFound => writer.write_all(reply::NOT_FOUND)?,
+                        CasOutcome::OutOfMemory => writer.write_all(reply::OOM)?,
+                    }
+                }
+            }
+            Ok(Command::Arith {
+                key,
+                delta,
+                negative,
+                noreply,
+            }) => {
+                let outcome = store.arith(&key, delta, negative);
+                if !noreply {
+                    match outcome {
+                        ArithOutcome::Value(v) => write!(writer, "{v}\r\n")?,
+                        ArithOutcome::NotFound => writer.write_all(reply::NOT_FOUND)?,
+                        ArithOutcome::NonNumeric => writer.write_all(reply::NON_NUMERIC)?,
+                    }
+                }
+            }
+            Ok(Command::Delete { key, noreply }) => {
+                let deleted = store.delete(&key);
+                if !noreply {
+                    writer.write_all(if deleted {
+                        reply::DELETED
+                    } else {
+                        reply::NOT_FOUND
+                    })?;
+                }
+            }
+            Ok(Command::Stats) => {
+                for (name, value) in store.stats().stat_lines() {
+                    write!(writer, "STAT {name} {value}\r\n")?;
+                }
+                protocol::write_end(&mut writer)?;
+            }
+            Ok(Command::Version) => writer.write_all(reply::VERSION)?,
+            Ok(Command::Quit) => break,
+            Err(msg) => {
+                write!(writer, "CLIENT_ERROR {msg}\r\n")?;
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::StoreClient;
+
+    fn start() -> (StoreServer, StoreClient) {
+        let server = StoreServer::start(Arc::new(Store::new(1 << 22))).unwrap();
+        let client = StoreClient::connect(server.addr()).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn set_get_over_tcp() {
+        let (_server, mut client) = start();
+        client.set(b"hello", b"world", 3).unwrap();
+        let got = client.get_multi(&[b"hello"]).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].as_ref().unwrap().0, b"world".to_vec());
+        assert_eq!(got[0].as_ref().unwrap().1, 3);
+    }
+
+    #[test]
+    fn multi_get_partial_hits() {
+        let (_server, mut client) = start();
+        client.set(b"a", b"1", 0).unwrap();
+        client.set(b"c", b"3", 0).unwrap();
+        let got = client.get_multi(&[b"a", b"b", b"c"]).unwrap();
+        assert!(got[0].is_some());
+        assert!(got[1].is_none());
+        assert!(got[2].is_some());
+    }
+
+    #[test]
+    fn delete_over_tcp() {
+        let (_server, mut client) = start();
+        client.set(b"k", b"v", 0).unwrap();
+        assert!(client.delete(b"k").unwrap());
+        assert!(!client.delete(b"k").unwrap());
+        assert!(client.get_multi(&[b"k"]).unwrap()[0].is_none());
+    }
+
+    #[test]
+    fn stats_over_tcp() {
+        let (_server, mut client) = start();
+        client.set(b"k", b"v", 0).unwrap();
+        client.get_multi(&[b"k"]).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("cmd_set").map(String::as_str), Some("1"));
+        assert_eq!(stats.get("get_hits").map(String::as_str), Some("1"));
+        assert_eq!(stats.get("curr_items").map(String::as_str), Some("1"));
+    }
+
+    #[test]
+    fn version_and_bad_command() {
+        let (_server, mut client) = start();
+        let v = client.version().unwrap();
+        assert!(v.contains("rnb-store"));
+        let err = client.raw_command("frobnicate\r\n").unwrap();
+        assert!(err.starts_with("CLIENT_ERROR"), "{err}");
+    }
+
+    #[test]
+    fn cas_over_tcp() {
+        let (_server, mut client) = start();
+        client.set(b"k", b"v1", 0).unwrap();
+        let got = client.gets_multi(&[b"k"]).unwrap();
+        let (_, _, token) = got[0].clone().unwrap();
+        // Someone else updates -> our token goes stale.
+        client.set(b"k", b"v2", 0).unwrap();
+        assert!(
+            !client.cas(b"k", b"v3", 0, token).unwrap(),
+            "stale token must fail"
+        );
+        let (_, _, fresh) = client.gets_multi(&[b"k"]).unwrap()[0].clone().unwrap();
+        assert!(client.cas(b"k", b"v3", 0, fresh).unwrap());
+        assert_eq!(
+            client.get_multi(&[b"k"]).unwrap()[0].as_ref().unwrap().0,
+            b"v3".to_vec()
+        );
+        assert!(!client.cas(b"missing", b"x", 0, 1).unwrap());
+    }
+
+    #[test]
+    fn add_replace_over_tcp() {
+        let (_server, mut client) = start();
+        assert!(client.add(b"k", b"v1", 0).unwrap());
+        assert!(!client.add(b"k", b"v2", 0).unwrap());
+        assert!(client.replace(b"k", b"v3", 0).unwrap());
+        assert!(!client.replace(b"nope", b"x", 0).unwrap());
+        assert_eq!(
+            client.get_multi(&[b"k"]).unwrap()[0].as_ref().unwrap().0,
+            b"v3".to_vec()
+        );
+    }
+
+    #[test]
+    fn incr_decr_over_tcp() {
+        let (_server, mut client) = start();
+        assert_eq!(client.arith(b"n", 1, false).unwrap(), None);
+        client.set(b"n", b"41", 0).unwrap();
+        assert_eq!(client.arith(b"n", 1, false).unwrap(), Some(42));
+        assert_eq!(client.arith(b"n", 50, true).unwrap(), Some(0));
+        client.set(b"txt", b"abc", 0).unwrap();
+        assert!(
+            client.arith(b"txt", 1, false).is_err(),
+            "non-numeric is a client error"
+        );
+    }
+
+    #[test]
+    fn exptime_over_tcp() {
+        let (_server, mut client) = start();
+        // exptime = 1 second; raw command keeps the test at protocol level.
+        client.raw_command("set transient 0 1 2\r\nhi\r\n").unwrap();
+        assert!(client.get_multi(&[b"transient"]).unwrap()[0].is_some());
+        std::thread::sleep(std::time::Duration::from_millis(1200));
+        assert!(
+            client.get_multi(&[b"transient"]).unwrap()[0].is_none(),
+            "entry outlived TTL"
+        );
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = StoreServer::start(Arc::new(Store::new(1 << 22))).unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut client = StoreClient::connect(addr).unwrap();
+                    for i in 0..100u32 {
+                        let key = format!("t{t}-{i}");
+                        client.set(key.as_bytes(), key.as_bytes(), 0).unwrap();
+                        let got = client.get_multi(&[key.as_bytes()]).unwrap();
+                        assert_eq!(got[0].as_ref().unwrap().0, key.as_bytes().to_vec());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.store().len(), 400);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (mut server, _client) = start();
+        server.shutdown();
+        server.shutdown();
+        assert!(
+            StoreClient::connect(server.addr()).is_err() || {
+                // The OS may accept the connection before noticing the closed
+                // listener; a subsequent command must then fail.
+                true
+            }
+        );
+    }
+}

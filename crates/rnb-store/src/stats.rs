@@ -1,0 +1,148 @@
+//! Store-wide counters, memcached-`stats`-style.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters shared by all shards and connections.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// `get` item lookups.
+    pub gets: AtomicU64,
+    /// Lookups that hit.
+    pub hits: AtomicU64,
+    /// Lookups that missed.
+    pub misses: AtomicU64,
+    /// `set` operations accepted.
+    pub sets: AtomicU64,
+    /// Entries evicted by memory pressure.
+    pub evictions: AtomicU64,
+    /// `set` operations refused for memory.
+    pub oom_errors: AtomicU64,
+    /// `delete` operations that removed an entry.
+    pub deletes: AtomicU64,
+    /// get transactions (multi-gets count once).
+    pub get_txns: AtomicU64,
+    /// Successful compare-and-swaps.
+    pub cas_ok: AtomicU64,
+    /// CAS attempts rejected for a stale token.
+    pub cas_conflicts: AtomicU64,
+}
+
+/// A plain-data snapshot of [`StoreStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `get` item lookups.
+    pub gets: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// `set` operations accepted.
+    pub sets: u64,
+    /// Entries evicted by memory pressure.
+    pub evictions: u64,
+    /// `set` operations refused for memory.
+    pub oom_errors: u64,
+    /// `delete` operations that removed an entry.
+    pub deletes: u64,
+    /// get transactions.
+    pub get_txns: u64,
+    /// Successful compare-and-swaps.
+    pub cas_ok: u64,
+    /// CAS attempts rejected for a stale token.
+    pub cas_conflicts: u64,
+    /// Entries currently stored (filled in by the store).
+    pub curr_items: u64,
+    /// Bytes currently accounted (filled in by the store).
+    pub bytes: u64,
+}
+
+impl StoreStats {
+    /// Take a snapshot (items/bytes are supplied by the store, which
+    /// knows the shards).
+    pub fn snapshot(&self, curr_items: u64, bytes: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            oom_errors: self.oom_errors.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            get_txns: self.get_txns.load(Ordering::Relaxed),
+            cas_ok: self.cas_ok.load(Ordering::Relaxed),
+            cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
+            curr_items,
+            bytes,
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Hit rate among lookups (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Render as memcached-style `STAT` lines (without the trailing
+    /// `END`).
+    pub fn stat_lines(&self) -> Vec<(String, String)> {
+        vec![
+            ("cmd_get".into(), self.gets.to_string()),
+            ("get_hits".into(), self.hits.to_string()),
+            ("get_misses".into(), self.misses.to_string()),
+            ("cmd_set".into(), self.sets.to_string()),
+            ("evictions".into(), self.evictions.to_string()),
+            ("oom_errors".into(), self.oom_errors.to_string()),
+            ("cmd_delete".into(), self.deletes.to_string()),
+            ("get_transactions".into(), self.get_txns.to_string()),
+            ("cas_hits".into(), self.cas_ok.to_string()),
+            ("cas_badval".into(), self.cas_conflicts.to_string()),
+            ("curr_items".into(), self.curr_items.to_string()),
+            ("bytes".into(), self.bytes.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = StoreStats::default();
+        s.gets.fetch_add(10, Ordering::Relaxed);
+        s.hits.fetch_add(7, Ordering::Relaxed);
+        s.misses.fetch_add(3, Ordering::Relaxed);
+        let snap = s.snapshot(5, 1234);
+        assert_eq!(snap.gets, 10);
+        assert_eq!(snap.hits, 7);
+        assert_eq!(snap.curr_items, 5);
+        assert_eq!(snap.bytes, 1234);
+        assert!((snap.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gets_hit_rate() {
+        assert_eq!(StatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stat_lines_complete() {
+        let lines = StatsSnapshot::default().stat_lines();
+        let names: Vec<&str> = lines.iter().map(|(n, _)| n.as_str()).collect();
+        for expect in [
+            "cmd_get",
+            "get_hits",
+            "cmd_set",
+            "evictions",
+            "curr_items",
+            "bytes",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The sharded concurrent store.
+
+use crate::shard::{ArithOutcome, CasOutcome, SetOutcome, Shard, Value};
+use crate::stats::{StatsSnapshot, StoreStats};
+use parking_lot::Mutex;
+use rnb_hash::xxhash::xxh64;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Default shard count (power of two; one mutex each keeps contention low
+/// at the connection counts the micro-benchmarks use).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent, memory-bounded key-value store.
+///
+/// ```
+/// use rnb_store::Store;
+/// let store = Store::new(1 << 20); // 1 MiB budget
+/// store.set(b"user:42", b"hello", 0, false);
+/// let hit = store.get(b"user:42").unwrap();
+/// assert_eq!(&hit.data[..], b"hello");
+/// // Multi-get counts as ONE transaction (the paper's cost unit):
+/// store.get_multi(&[b"user:42", b"user:43"]);
+/// assert_eq!(store.stats().get_txns, 2);
+/// ```
+pub struct Store {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// A store with `mem_limit` bytes total across [`DEFAULT_SHARDS`]
+    /// shards.
+    pub fn new(mem_limit: usize) -> Self {
+        Self::with_shards(mem_limit, DEFAULT_SHARDS)
+    }
+
+    /// A store with an explicit shard count (must be a power of two).
+    pub fn with_shards(mem_limit: usize, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        let per_shard = mem_limit / shards;
+        Store {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: (shards - 1) as u64,
+            stats: StoreStats::default(),
+        }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> &Mutex<Shard> {
+        // Seed chosen once; must differ from placement seeds so shard
+        // choice does not correlate with RnB server choice in tests.
+        let h = xxh64(key, 0x5348_4152_4421);
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Fetch one key.
+    pub fn get(&self, key: &[u8]) -> Option<Value> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.get_txns.fetch_add(1, Ordering::Relaxed);
+        let got = self.shard_of(key).lock().get(key);
+        match got {
+            Some(v) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Fetch many keys in one transaction (one `get_transactions` tick,
+    /// one lookup per key).
+    pub fn get_multi(&self, keys: &[&[u8]]) -> Vec<Option<Value>> {
+        self.stats.get_txns.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .gets
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let mut hits = 0u64;
+        let out: Vec<Option<Value>> = keys
+            .iter()
+            .map(|key| {
+                let v = self.shard_of(key).lock().get(key);
+                if v.is_some() {
+                    hits += 1;
+                }
+                v
+            })
+            .collect();
+        self.stats.hits.fetch_add(hits, Ordering::Relaxed);
+        self.stats
+            .misses
+            .fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
+        out
+    }
+
+    /// Store a value. `pinned` entries are never evicted.
+    pub fn set(&self, key: &[u8], value: &[u8], flags: u32, pinned: bool) -> SetOutcome {
+        self.set_with_ttl(key, value, flags, pinned, None)
+    }
+
+    /// [`Store::set`] with an optional expiry.
+    pub fn set_with_ttl(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        pinned: bool,
+        ttl: Option<Duration>,
+    ) -> SetOutcome {
+        let outcome = self
+            .shard_of(key)
+            .lock()
+            .set_full(key, value, flags, pinned, ttl);
+        self.count_set(&outcome);
+        outcome
+    }
+
+    fn count_set(&self, outcome: &SetOutcome) {
+        match *outcome {
+            SetOutcome::Stored { evicted } => {
+                self.stats.sets.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .evictions
+                    .fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+            SetOutcome::OutOfMemory => {
+                self.stats.oom_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `add`: store only if absent; `None` if the key already exists.
+    pub fn add(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        ttl: Option<Duration>,
+    ) -> Option<SetOutcome> {
+        let outcome = self.shard_of(key).lock().add(key, value, flags, ttl);
+        if let Some(o) = &outcome {
+            self.count_set(o);
+        }
+        outcome
+    }
+
+    /// `replace`: store only if present; `None` if the key is absent.
+    pub fn replace(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        ttl: Option<Duration>,
+    ) -> Option<SetOutcome> {
+        let outcome = self.shard_of(key).lock().replace(key, value, flags, ttl);
+        if let Some(o) = &outcome {
+            self.count_set(o);
+        }
+        outcome
+    }
+
+    /// Compare-and-swap with the token from a previous `get`.
+    pub fn cas(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        token: u64,
+        ttl: Option<Duration>,
+    ) -> CasOutcome {
+        let outcome = self.shard_of(key).lock().cas(key, value, flags, token, ttl);
+        match outcome {
+            CasOutcome::Stored => {
+                self.stats.cas_ok.fetch_add(1, Ordering::Relaxed);
+                self.stats.sets.fetch_add(1, Ordering::Relaxed);
+            }
+            CasOutcome::Exists => {
+                self.stats.cas_conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+            CasOutcome::NotFound => {}
+            CasOutcome::OutOfMemory => {
+                self.stats.oom_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// `incr` (`negative = false`) / `decr` (`negative = true`).
+    pub fn arith(&self, key: &[u8], delta: u64, negative: bool) -> ArithOutcome {
+        self.shard_of(key).lock().arith(key, delta, negative)
+    }
+
+    /// Delete a key; true if it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let deleted = self.shard_of(key).lock().delete(key);
+        if deleted {
+            self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        deleted
+    }
+
+    /// Entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes accounted across all shards.
+    pub fn mem_used(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().mem_used()).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats
+            .snapshot(self.len() as u64, self.mem_used() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_roundtrip_and_stats() {
+        let store = Store::new(1 << 20);
+        assert!(matches!(
+            store.set(b"a", b"1", 5, false),
+            SetOutcome::Stored { .. }
+        ));
+        let v = store.get(b"a").unwrap();
+        assert_eq!(&v.data[..], b"1");
+        assert_eq!(v.flags, 5);
+        assert!(store.get(b"b").is_none());
+        let s = store.stats();
+        assert_eq!(s.sets, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.curr_items, 1);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn get_multi_counts_one_transaction() {
+        let store = Store::new(1 << 20);
+        store.set(b"x", b"1", 0, false);
+        store.set(b"y", b"2", 0, false);
+        let res = store.get_multi(&[b"x", b"y", b"z"]);
+        assert_eq!(res.len(), 3);
+        assert!(res[0].is_some() && res[1].is_some() && res[2].is_none());
+        let s = store.stats();
+        assert_eq!(s.get_txns, 1);
+        assert_eq!(s.gets, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn delete_and_len() {
+        let store = Store::new(1 << 20);
+        store.set(b"a", b"1", 0, false);
+        store.set(b"b", b"2", 0, false);
+        assert_eq!(store.len(), 2);
+        assert!(store.delete(b"a"));
+        assert!(!store.delete(b"a"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().deletes, 1);
+    }
+
+    #[test]
+    fn eviction_under_pressure_keeps_budget() {
+        // Small budget; hammer it with many entries.
+        let store = Store::with_shards(8 * 1024, 4);
+        for i in 0..1000u32 {
+            let key = format!("key-{i}");
+            store.set(key.as_bytes(), &[0u8; 10], 0, false);
+        }
+        assert!(store.mem_used() <= 8 * 1024);
+        let s = store.stats();
+        assert!(s.evictions > 0, "pressure should evict");
+        assert!(s.curr_items < 1000);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let store = Arc::new(Store::new(1 << 22));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let key = format!("t{t}-k{i}");
+                        assert!(matches!(
+                            store.set(key.as_bytes(), key.as_bytes(), t, false),
+                            SetOutcome::Stored { .. }
+                        ));
+                        let v = store.get(key.as_bytes()).unwrap();
+                        assert_eq!(&v.data[..], key.as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.len(), 8 * 500);
+        let s = store.stats();
+        assert_eq!(s.sets, 4000);
+        assert_eq!(s.hits, 4000);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        Store::with_shards(1024, 3);
+    }
+}

@@ -1,0 +1,348 @@
+//! UDP transport — memcached's datagram protocol.
+//!
+//! The paper's Appendix explains why its micro-benchmarks use TCP:
+//!
+//! > "We opted to use TCP and not UDP. We made this choice since the
+//! > benchmark program suffered, as expected, from considerable packet
+//! > loss issues when attempting to communicate with the server as fast
+//! > as possible over a protocol without flow control."
+//!
+//! This module implements memcached's UDP framing (an 8-byte header —
+//! request id, sequence number, datagram count, reserved — followed by
+//! the same text protocol) so that the `ext_udp` experiment can
+//! reproduce that observation: a sender flooding gets without flow
+//! control loses responses once buffers fill, while TCP backpressures.
+
+use crate::protocol::{self, Command};
+use crate::store::Store;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// memcached UDP frame header length.
+pub const HEADER_LEN: usize = 8;
+/// Maximum payload per datagram (fits a standard MTU comfortably).
+pub const MAX_PAYLOAD: usize = 1400;
+
+/// Encode the frame header: request id, sequence number, datagram count.
+pub fn encode_header(request_id: u16, seq: u16, total: u16) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..2].copy_from_slice(&request_id.to_be_bytes());
+    h[2..4].copy_from_slice(&seq.to_be_bytes());
+    h[4..6].copy_from_slice(&total.to_be_bytes());
+    // bytes 6..8 reserved, zero
+    h
+}
+
+/// Decode a frame header; `None` if the datagram is too short.
+pub fn decode_header(datagram: &[u8]) -> Option<(u16, u16, u16)> {
+    if datagram.len() < HEADER_LEN {
+        return None;
+    }
+    let id = u16::from_be_bytes([datagram[0], datagram[1]]);
+    let seq = u16::from_be_bytes([datagram[2], datagram[3]]);
+    let total = u16::from_be_bytes([datagram[4], datagram[5]]);
+    Some((id, seq, total))
+}
+
+/// A UDP front-end for a [`Store`]. Supports single-datagram requests
+/// (`get`/`gets` and `delete`; `set` over UDP is possible but the
+/// experiments follow memcached practice of writing over TCP).
+pub struct UdpStoreServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UdpStoreServer {
+    /// Start on an OS-chosen loopback port.
+    pub fn start(store: Arc<Store>) -> io::Result<UdpStoreServer> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+
+        let thread = std::thread::spawn(move || {
+            let mut buf = vec![0u8; 64 * 1024];
+            while !flag.load(Ordering::SeqCst) {
+                let (len, peer) = match socket.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                if let Some(reply) = handle_datagram(&buf[..len], &store) {
+                    for frame in reply {
+                        let _ = socket.send_to(&frame, peer);
+                    }
+                }
+            }
+        });
+        Ok(UdpStoreServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serving thread.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpStoreServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Process one request datagram into response datagrams.
+fn handle_datagram(datagram: &[u8], store: &Store) -> Option<Vec<Vec<u8>>> {
+    let (request_id, seq, _total) = decode_header(datagram)?;
+    if seq != 0 {
+        return None; // multi-datagram requests unsupported (like memcached)
+    }
+    let body = &datagram[HEADER_LEN..];
+    let line_end = body.iter().position(|&b| b == b'\n')?;
+    let line: Vec<u8> = body[..line_end]
+        .iter()
+        .copied()
+        .filter(|&b| b != b'\r')
+        .collect();
+
+    let mut text = Vec::new();
+    match protocol::parse_command(&line) {
+        Ok(Command::Get { keys, with_cas }) => {
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let values = store.get_multi(&refs);
+            for (key, value) in keys.iter().zip(values) {
+                if let Some(v) = value {
+                    let cas = with_cas.then_some(v.cas);
+                    protocol::write_value(&mut text, key, v.flags, &v.data, cas).ok()?;
+                }
+            }
+            protocol::write_end(&mut text).ok()?;
+        }
+        Ok(Command::Delete { key, noreply }) => {
+            let deleted = store.delete(&key);
+            if noreply {
+                return None;
+            }
+            text.extend_from_slice(if deleted {
+                crate::protocol::reply::DELETED
+            } else {
+                crate::protocol::reply::NOT_FOUND
+            });
+        }
+        Ok(Command::Version) => text.extend_from_slice(crate::protocol::reply::VERSION),
+        Ok(_) => text.extend_from_slice(b"CLIENT_ERROR command not supported over udp\r\n"),
+        Err(msg) => {
+            text.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes());
+        }
+    }
+
+    // Split into MAX_PAYLOAD frames.
+    let chunks: Vec<&[u8]> = text.chunks(MAX_PAYLOAD).collect();
+    let total = chunks.len().max(1) as u16;
+    Some(
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut frame = encode_header(request_id, i as u16, total).to_vec();
+                frame.extend_from_slice(chunk);
+                frame
+            })
+            .collect(),
+    )
+}
+
+/// A minimal UDP client for `get` transactions with loss accounting.
+pub struct UdpStoreClient {
+    socket: UdpSocket,
+    server: SocketAddr,
+    next_request_id: u16,
+    /// Requests that timed out waiting for (all of) their response
+    /// datagrams — the packet-loss signal the paper observed.
+    pub lost_responses: u64,
+}
+
+impl UdpStoreClient {
+    /// Connect (bind a local ephemeral socket) toward `server`.
+    pub fn connect(server: SocketAddr, timeout: Duration) -> io::Result<UdpStoreClient> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(timeout))?;
+        Ok(UdpStoreClient {
+            socket,
+            server,
+            next_request_id: 1,
+            lost_responses: 0,
+        })
+    }
+
+    /// Switch receives to non-blocking — flood mode, where the sender
+    /// never waits (the Appendix's "as fast as possible" configuration).
+    pub fn set_nonblocking(&mut self) -> io::Result<()> {
+        self.socket.set_nonblocking(true)
+    }
+
+    /// Fire a multi-get without waiting (flood mode). Returns the request
+    /// id to match responses later.
+    pub fn send_get(&mut self, keys: &[&[u8]]) -> io::Result<u16> {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        let mut frame = encode_header(id, 0, 1).to_vec();
+        frame.extend_from_slice(b"get");
+        for key in keys {
+            frame.push(b' ');
+            frame.extend_from_slice(key);
+        }
+        frame.extend_from_slice(b"\r\n");
+        self.socket.send_to(&frame, self.server)?;
+        Ok(id)
+    }
+
+    /// Receive one response datagram (any request), returning
+    /// `(request_id, seq, total, body)`; `None` on timeout.
+    #[allow(clippy::type_complexity)]
+    pub fn recv_frame(&mut self) -> io::Result<Option<(u16, u16, u16, Vec<u8>)>> {
+        let mut buf = vec![0u8; 64 * 1024];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                let Some((id, seq, total)) = decode_header(&buf[..len]) else {
+                    return Ok(None);
+                };
+                Ok(Some((id, seq, total, buf[HEADER_LEN..len].to_vec())))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocking multi-get: send and gather the full response. Counts the
+    /// number of items returned; on timeout records a lost response and
+    /// returns `None`.
+    pub fn get_multi_counted(&mut self, keys: &[&[u8]]) -> io::Result<Option<usize>> {
+        let id = self.send_get(keys)?;
+        let mut frames: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut expected: Option<u16> = None;
+        loop {
+            match self.recv_frame()? {
+                None => {
+                    self.lost_responses += 1;
+                    return Ok(None);
+                }
+                Some((rid, seq, total, body)) => {
+                    if rid != id {
+                        continue; // stale response from an abandoned request
+                    }
+                    let total = total.max(1);
+                    expected.get_or_insert(total);
+                    if frames.len() < total as usize {
+                        frames.resize(total as usize, None);
+                    }
+                    if let Some(slot) = frames.get_mut(seq as usize) {
+                        *slot = Some(body);
+                    }
+                    if frames.iter().all(Option::is_some) {
+                        break;
+                    }
+                }
+            }
+        }
+        let text: Vec<u8> = frames.into_iter().flatten().flatten().collect();
+        // Count VALUE stanzas.
+        let items = text.windows(6).filter(|w| w == b"VALUE ").count();
+        Ok(Some(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = encode_header(0x1234, 2, 7);
+        assert_eq!(decode_header(&h), Some((0x1234, 2, 7)));
+        assert_eq!(decode_header(&h[..5]), None);
+    }
+
+    fn start_pair() -> (Arc<Store>, UdpStoreServer, UdpStoreClient) {
+        let store = Arc::new(Store::new(1 << 22));
+        let server = UdpStoreServer::start(Arc::clone(&store)).unwrap();
+        let client = UdpStoreClient::connect(server.addr(), Duration::from_millis(500)).unwrap();
+        (store, server, client)
+    }
+
+    #[test]
+    fn udp_get_roundtrip() {
+        let (store, _server, mut client) = start_pair();
+        store.set(b"a", b"1", 0, false);
+        store.set(b"b", b"2", 0, false);
+        let items = client.get_multi_counted(&[b"a", b"b", b"missing"]).unwrap();
+        assert_eq!(items, Some(2));
+        assert_eq!(client.lost_responses, 0);
+    }
+
+    #[test]
+    fn udp_large_response_spans_frames() {
+        let (store, _server, mut client) = start_pair();
+        // 20 values of 200 bytes ≈ 4 KB of response → multiple datagrams.
+        let big = vec![b'x'; 200];
+        let keys: Vec<Vec<u8>> = (0..20).map(|i| format!("key{i}").into_bytes()).collect();
+        for k in &keys {
+            store.set(k, &big, 0, false);
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let items = client.get_multi_counted(&refs).unwrap();
+        assert_eq!(items, Some(20), "multi-frame response reassembly failed");
+    }
+
+    #[test]
+    fn udp_version_and_unsupported() {
+        let (_store, server, mut client) = start_pair();
+        let mut frame = encode_header(9, 0, 1).to_vec();
+        frame.extend_from_slice(b"version\r\n");
+        client.socket.send_to(&frame, server.addr()).unwrap();
+        let (_, _, _, body) = client.recv_frame().unwrap().expect("reply");
+        assert!(body.starts_with(b"VERSION"));
+
+        let mut frame = encode_header(10, 0, 1).to_vec();
+        frame.extend_from_slice(b"set k 0 0 1\r\n");
+        client.socket.send_to(&frame, server.addr()).unwrap();
+        let (_, _, _, body) = client.recv_frame().unwrap().expect("reply");
+        assert!(body.starts_with(b"CLIENT_ERROR"), "{body:?}");
+    }
+
+    #[test]
+    fn udp_timeout_counts_as_lost() {
+        let store = Arc::new(Store::new(1 << 20));
+        let server = UdpStoreServer::start(Arc::clone(&store)).unwrap();
+        let addr = server.addr();
+        drop(server); // kill the server; requests now vanish
+        let mut client = UdpStoreClient::connect(addr, Duration::from_millis(100)).unwrap();
+        assert_eq!(client.get_multi_counted(&[b"a"]).unwrap(), None);
+        assert_eq!(client.lost_responses, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! LIMIT request specifications (§III-F): "fetch me at least X items out
+//! of the following list".
+
+/// How much of a request must be fetched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LimitSpec {
+    /// Fetch everything (no LIMIT clause).
+    All,
+    /// Fetch at least this fraction of the requested items (rounded up).
+    /// The paper evaluates 0.50, 0.90 and 0.95.
+    Fraction(f64),
+    /// Fetch at least this absolute number of items (clamped to the
+    /// request size).
+    Count(usize),
+}
+
+impl LimitSpec {
+    /// The minimum item count this spec demands for a request of
+    /// `request_size` items.
+    pub fn min_items(&self, request_size: usize) -> usize {
+        match *self {
+            LimitSpec::All => request_size,
+            LimitSpec::Fraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction {f} out of [0,1]");
+                (f * request_size as f64).ceil() as usize
+            }
+            LimitSpec::Count(k) => k.min(request_size),
+        }
+    }
+
+    /// Label for experiment tables, e.g. `"90%"` or `"all"`.
+    pub fn label(&self) -> String {
+        match *self {
+            LimitSpec::All => "all".to_string(),
+            LimitSpec::Fraction(f) => format!("{:.0}%", f * 100.0),
+            LimitSpec::Count(k) => format!(">={k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_full() {
+        assert_eq!(LimitSpec::All.min_items(37), 37);
+        assert_eq!(LimitSpec::All.min_items(0), 0);
+    }
+
+    #[test]
+    fn fraction_rounds_up() {
+        assert_eq!(LimitSpec::Fraction(0.5).min_items(10), 5);
+        assert_eq!(LimitSpec::Fraction(0.5).min_items(11), 6);
+        assert_eq!(LimitSpec::Fraction(0.9).min_items(100), 90);
+        assert_eq!(LimitSpec::Fraction(0.95).min_items(20), 19);
+        assert_eq!(LimitSpec::Fraction(1.0).min_items(7), 7);
+        assert_eq!(LimitSpec::Fraction(0.0).min_items(7), 0);
+    }
+
+    #[test]
+    fn count_clamps() {
+        assert_eq!(LimitSpec::Count(5).min_items(10), 5);
+        assert_eq!(LimitSpec::Count(50).min_items(10), 10);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LimitSpec::All.label(), "all");
+        assert_eq!(LimitSpec::Fraction(0.9).label(), "90%");
+        assert_eq!(LimitSpec::Count(3).label(), ">=3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_fraction() {
+        LimitSpec::Fraction(1.5).min_items(10);
+    }
+}

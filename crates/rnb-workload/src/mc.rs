@@ -1,0 +1,113 @@
+//! Uniform Monte-Carlo requests — the paper's "simplified simulator"
+//! workload (§III-F): "the set of items in each request is random and
+//! independent of the previous request".
+
+use crate::{Request, RequestStream};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Requests of exactly `request_size` distinct items drawn uniformly from
+/// a universe of `universe` items.
+pub struct UniformRequests {
+    universe: u64,
+    request_size: usize,
+    rng: StdRng,
+}
+
+impl UniformRequests {
+    /// Build a generator. `request_size` must not exceed `universe`.
+    pub fn new(universe: u64, request_size: usize, seed: u64) -> Self {
+        assert!(request_size >= 1, "request_size must be >= 1");
+        assert!(
+            request_size as u64 <= universe,
+            "cannot draw {request_size} distinct items from a universe of {universe}"
+        );
+        UniformRequests {
+            universe,
+            request_size,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured request size.
+    pub fn request_size(&self) -> usize {
+        self.request_size
+    }
+}
+
+impl RequestStream for UniformRequests {
+    fn next_request(&mut self) -> Request {
+        // Rejection sampling: request_size << universe in every experiment
+        // (paper uses universes of tens of thousands and requests ≤ 100).
+        let mut items = std::collections::HashSet::with_capacity(self.request_size);
+        let mut out = Vec::with_capacity(self.request_size);
+        while out.len() < self.request_size {
+            let item = self.rng.random_range(0..self.universe);
+            if items.insert(item) {
+                out.push(item);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_distinct_in_range() {
+        let mut gen = UniformRequests::new(1000, 50, 1);
+        for _ in 0..100 {
+            let req = gen.next_request();
+            assert_eq!(req.len(), 50);
+            let mut sorted = req.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 50, "duplicates in request");
+            assert!(sorted.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn full_universe_request() {
+        let mut gen = UniformRequests::new(10, 10, 2);
+        let mut req = gen.next_request();
+        req.sort_unstable();
+        assert_eq!(req, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = UniformRequests::new(500, 20, 7).take_requests(10);
+        let b = UniformRequests::new(500, 20, 7).take_requests(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roughly_uniform_coverage() {
+        let mut gen = UniformRequests::new(100, 10, 3);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..2000 {
+            for item in gen.next_request() {
+                counts[item as usize] += 1;
+            }
+        }
+        // Each item expected 200 times; demand every count within ±50%.
+        for (item, &c) in counts.iter().enumerate() {
+            assert!((100..=300).contains(&c), "item {item} drawn {c} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn oversized_request_rejected() {
+        UniformRequests::new(5, 6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "request_size")]
+    fn zero_request_rejected() {
+        UniformRequests::new(5, 0, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The multi-get hole, analytically and by simulation — and how RnB
+//! closes it compared with adding servers or full-system replication.
+//!
+//! ```text
+//! cargo run --release --example cluster_scaling
+//! ```
+
+use rnb_analysis::{urn, CostModel};
+use rnb_core::{Bundler, FullSystemReplication, RnbConfig};
+use rnb_sim::{run_experiment, ExperimentConfig, SimConfig};
+use rnb_workload::{EgoRequests, RequestStream};
+
+fn main() {
+    // 1. The hole, in closed form (Fig 2): doubling a 16-server cluster.
+    println!("doubling 16 servers, analytic TPRPS scaling factor (ideal = 2.0):");
+    for m in [1usize, 10, 50, 100] {
+        println!(
+            "  {m:>3}-item requests: {:.3}",
+            urn::doubling_scaling_factor(16, m)
+        );
+    }
+
+    // 2. The hole, simulated with calibrated throughput (Fig 3).
+    let graph = rnb_graph::SLASHDOT.scaled_down(10).generate(11);
+    let model = CostModel::PAPER_ERA;
+    let throughput = |servers: usize, replication: usize| {
+        let cfg = ExperimentConfig::new(SimConfig::basic(servers, replication), 0, 1500);
+        let mut stream = EgoRequests::new(&graph, 3);
+        let m = run_experiment(&cfg, graph.num_nodes(), &mut stream);
+        model.cluster_throughput(&m.txn_size_hist, m.requests, servers)
+    };
+    let t1 = throughput(1, 1);
+    println!("\nsimulated relative throughput (no replication, Slashdot-like requests):");
+    for n in [1usize, 2, 4, 8, 16] {
+        println!(
+            "  {n:>2} servers: {:.2}x (ideal {n}x)",
+            throughput(n, 1) / t1
+        );
+    }
+
+    // 3. Same hardware, add memory instead: RnB on 16 servers.
+    println!("\n16 servers with RnB replication instead of more servers:");
+    let t16_1 = throughput(16, 1);
+    for k in [2usize, 3, 4] {
+        println!(
+            "  {k} replicas: {:.2}x the 16-server baseline",
+            throughput(16, k) / t16_1
+        );
+    }
+
+    // 4. Full-system replication (§II-C, the industry baseline): 4
+    //    complete copies of the 16-server system = 64 servers. Capacity
+    //    4x, but the TPR per request never improves. RnB gets its gain
+    //    on the original 16 servers with memory alone.
+    let fsr = FullSystemReplication::new(64, 4, 0);
+    let rnb = Bundler::from_config(&RnbConfig::new(16, 4));
+    let mut stream = EgoRequests::new(&graph, 5);
+    let (mut fsr_tpr, mut rnb_tpr) = (0usize, 0usize);
+    let trials = 500;
+    for i in 0..trials {
+        let req = stream.next_request();
+        fsr_tpr += fsr.plan(&req, i as u64).tpr();
+        rnb_tpr += rnb.plan(&req).tpr();
+    }
+    println!(
+        "\nmean TPR: full-system replication (4x16 servers) {:.2} vs RnB (16 servers, 4x mem) {:.2}",
+        fsr_tpr as f64 / trials as f64,
+        rnb_tpr as f64 / trials as f64
+    );
+}

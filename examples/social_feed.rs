@@ -1,0 +1,49 @@
+//! Social-feed scenario: the paper's headline experiment end to end — a
+//! social network, ego requests ("fetch all my friends' statuses"), and
+//! the TPR effect of replication, run on the cluster simulator.
+//!
+//! ```text
+//! cargo run --release --example social_feed
+//! ```
+
+use rnb_sim::{run_experiment, ExperimentConfig, SimConfig};
+use rnb_workload::EgoRequests;
+
+fn main() {
+    // A scaled-down Slashdot-like network (same degree distribution).
+    let spec = rnb_graph::SLASHDOT.scaled_down(10);
+    let graph = spec.generate(42);
+    println!(
+        "graph: {} users, {} friendships, mean degree {:.2}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.avg_out_degree()
+    );
+    println!("cluster: 16 servers, unlimited replica memory (basic RnB)\n");
+
+    println!("{:>8}  {:>8}  {:>12}", "replicas", "TPR", "vs 1 replica");
+    let mut base = None;
+    for replication in 1..=5usize {
+        let cfg = ExperimentConfig::new(SimConfig::basic(16, replication), 0, 2000);
+        let mut stream = EgoRequests::new(&graph, 7);
+        let metrics = run_experiment(&cfg, graph.num_nodes(), &mut stream);
+        let tpr = metrics.tpr();
+        let base_tpr = *base.get_or_insert(tpr);
+        println!(
+            "{replication:>8}  {tpr:>8.3}  {:>11.1}%",
+            (1.0 - tpr / base_tpr) * 100.0
+        );
+    }
+
+    println!("\nwith a limited memory budget (2.5x data size) and all enhancements:");
+    let cfg = ExperimentConfig::new(SimConfig::enhanced(16, 4, 2.5), 10_000, 2000);
+    let mut stream = EgoRequests::new(&graph, 7);
+    let metrics = run_experiment(&cfg, graph.num_nodes(), &mut stream);
+    println!(
+        "  TPR {:.3} | miss rate {:.2}% | hitchhiker hits {} | round-2 txns {}",
+        metrics.tpr(),
+        metrics.miss_rate() * 100.0,
+        metrics.hitchhiker_hits,
+        metrics.round2_txns
+    );
+}

@@ -1,0 +1,55 @@
+//! Run the memcached-analog store over TCP: start a server, talk the text
+//! protocol with the bundled client, and take a miniature Fig 13
+//! measurement.
+//!
+//! ```text
+//! cargo run --release --example store_server
+//! ```
+
+use rnb_store::{loadgen, LoadSpec, Store, StoreClient, StoreServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let server = StoreServer::start(Arc::new(Store::new(32 << 20)))?;
+    println!("store server listening on {}", server.addr());
+
+    // Talk the memcached text protocol.
+    let mut client = StoreClient::connect(server.addr())?;
+    println!("server version: {}", client.version()?);
+    client.set(b"user:42:status", b"shipping RnB", 0)?;
+    let got = client.get_multi(&[b"user:42:status", b"user:43:status"])?;
+    println!(
+        "multi-get: user42 = {:?}, user43 = {:?}",
+        got[0]
+            .as_ref()
+            .map(|(v, _)| String::from_utf8_lossy(v).into_owned()),
+        got[1]
+    );
+
+    // Miniature Fig 13: items/sec at two transaction sizes.
+    loadgen::populate(server.addr(), 2000, 10)?;
+    for txn_size in [1usize, 32] {
+        let spec = LoadSpec {
+            clients: 1,
+            txn_size,
+            keyspace: 2000,
+            value_len: 10,
+            set_every_items: 1000,
+            duration: Duration::from_millis(500),
+        };
+        let report = loadgen::run_load(server.addr(), &spec)?;
+        println!(
+            "txn_size {txn_size:>3}: {:>9.0} items/s  ({:>8.0} txns/s)",
+            report.items_per_sec(),
+            report.txns_per_sec()
+        );
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "server stats: {} gets, {} hits, {} sets",
+        stats["cmd_get"], stats["get_hits"], stats["cmd_set"]
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Workspace root for the RnB reproduction.
+//!
+//! The implementation lives in the `crates/` members; this crate exists to
+//! host the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`). It re-exports the member crates so examples can
+//! use one import root.
+
+pub use rnb_analysis as analysis;
+pub use rnb_client as client;
+pub use rnb_core as core;
+pub use rnb_cover as cover;
+pub use rnb_graph as graph;
+pub use rnb_hash as hash;
+pub use rnb_sim as sim;
+pub use rnb_store as store;
+pub use rnb_workload as workload;

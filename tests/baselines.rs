@@ -1,0 +1,112 @@
+//! Baseline comparisons (§II-C): RnB vs adding servers vs full-system
+//! replication, at matched resource budgets.
+
+use rnb_analysis::urn;
+use rnb_core::{Bundler, FullSystemReplication, Placement, RnbConfig};
+use rnb_workload::{RequestStream, UniformRequests};
+
+/// Mean TPR of a planner over a uniform request stream.
+fn mean_tpr(mut plan: impl FnMut(&[u64], u64) -> usize, m: usize, trials: usize) -> f64 {
+    let mut stream = UniformRequests::new(100_000, m, 99);
+    let mut total = 0usize;
+    for i in 0..trials {
+        let req = stream.next_request();
+        total += plan(&req, i as u64);
+    }
+    total as f64 / trials as f64
+}
+
+#[test]
+fn full_system_replication_gains_capacity_but_not_tpr() {
+    // The paper's framing (§II-C): the data set fills a 16-server
+    // cluster, so full-system replication buys 4x throughput with 4x
+    // *hardware* (4 complete 16-server copies = 64 servers) while the TPR
+    // per request stays exactly that of the 16-server system. RnB instead
+    // keeps the 16 servers, adds only memory, and lowers the TPR itself.
+    let fsr = FullSystemReplication::new(64, 4, 5);
+    let rnb = Bundler::from_config(&RnbConfig::new(16, 4).with_seed(5));
+    let m = 30usize;
+    let fsr_tpr = mean_tpr(|req, sel| fsr.plan(req, sel).tpr(), m, 300);
+    let rnb_tpr = mean_tpr(|req, _| rnb.plan(req).tpr(), m, 300);
+
+    // FSR TPR ≈ urn model of one 16-server copy — replication bought no
+    // per-request efficiency ("one gets exactly what one pays for").
+    let expect = urn::tpr(16, m);
+    assert!(
+        (fsr_tpr - expect).abs() / expect < 0.05,
+        "FSR TPR {fsr_tpr:.2} should match 16-server urn model {expect:.2}"
+    );
+    // RnB bundles: far fewer transactions per request on a quarter of the
+    // hardware.
+    assert!(
+        rnb_tpr < 0.6 * fsr_tpr,
+        "RnB should beat full-system replication per request: {rnb_tpr:.2} vs {fsr_tpr:.2}"
+    );
+    // Throughput per CPU: FSR = 4x throughput / 4x CPUs = unchanged;
+    // RnB = (fsr_tpr / rnb_tpr)x throughput on the same CPUs.
+    let per_cpu_gain = fsr_tpr / rnb_tpr;
+    assert!(
+        per_cpu_gain > 1.5,
+        "RnB per-CPU gain {per_cpu_gain:.2} too small"
+    );
+}
+
+#[test]
+fn fsr_spreads_load_across_copies() {
+    let fsr = FullSystemReplication::new(12, 3, 6);
+    let mut per_group = [0usize; 3];
+    let mut stream = UniformRequests::new(10_000, 20, 1);
+    for sel in 0..300u64 {
+        let req = stream.next_request();
+        let plan = fsr.plan(&req, sel);
+        per_group[(sel % 3) as usize] += plan.tpr();
+        for t in &plan.transactions {
+            assert_eq!(
+                t.server / 4,
+                (sel % 3) as u32,
+                "transaction escaped its copy"
+            );
+        }
+    }
+    // Round-robin selectors → near-equal load.
+    let max = *per_group.iter().max().unwrap() as f64;
+    let min = *per_group.iter().min().unwrap() as f64;
+    assert!(max / min < 1.2, "copies unbalanced: {per_group:?}");
+}
+
+#[test]
+fn adding_servers_vs_adding_memory_at_matched_budget() {
+    // The paper's pitch: with per-request work dominated by transactions,
+    // 16 servers + 4x memory (RnB) beats 64 servers with 1 copy for
+    // request-heavy workloads (per-server efficiency).
+    let m = 40usize;
+    let rnb = Bundler::from_config(&RnbConfig::new(16, 4));
+    let rnb_tpr = mean_tpr(|req, _| rnb.plan(req).tpr(), m, 300);
+    let wide_tpr = urn::tpr(64, m); // 64 servers, no replication
+                                    // Total transactions per request: RnB needs fewer in absolute terms.
+    assert!(
+        rnb_tpr < wide_tpr,
+        "RnB TPR {rnb_tpr:.2} should undercut the 64-server no-replication TPR {wide_tpr:.2}"
+    );
+    // Per-server load (TPRPS): RnB's 16 servers each see more, but the
+    // *scaling factor* argument (Fig 2) shows the 64-server system wastes
+    // its CPUs; verify the hole: 64 servers deliver << 4x the throughput
+    // of 16 at this request size.
+    let gain = urn::throughput_scaling(16, 64, m);
+    assert!(
+        gain < 2.5,
+        "4x servers should yield under 2.5x throughput here, got {gain:.2}"
+    );
+}
+
+#[test]
+fn write_amplification_matches_replication_level() {
+    // §III-G: during writes RnB updates every replica. The write set size
+    // equals the replication level for both schemes.
+    let fsr = FullSystemReplication::new(16, 4, 7);
+    let rnb = Bundler::from_config(&RnbConfig::new(16, 4).with_seed(7));
+    for item in 0..200u64 {
+        assert_eq!(fsr.write_set(item).len(), 4);
+        assert_eq!(rnb.placement().replicas(item).len(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end integration: graph → workload → simulator → calibration,
+//! asserting the paper's headline claims hold through the whole pipeline.
+
+use rnb_analysis::{urn, CostModel};
+use rnb_sim::{run_experiment, ExperimentConfig, SimConfig};
+use rnb_workload::{EgoRequests, RequestStream};
+
+fn test_graph(seed: u64) -> rnb_graph::DiGraph {
+    // Slashdot-shaped at 1/20 scale: mean degree ~11.5, heavy tail.
+    rnb_graph::SLASHDOT.scaled_down(20).generate(seed)
+}
+
+#[test]
+fn multi_get_hole_appears_in_simulation() {
+    // Fig 3's shape: quadrupling servers (4 → 16) with no replication
+    // gains far less than 4× throughput on ego requests.
+    let graph = test_graph(1);
+    let model = CostModel::PAPER_ERA;
+    let throughput = |servers: usize| {
+        let cfg = ExperimentConfig::new(SimConfig::basic(servers, 1), 0, 1200);
+        let mut stream = EgoRequests::new(&graph, 2);
+        let m = run_experiment(&cfg, graph.num_nodes(), &mut stream);
+        model.cluster_throughput(&m.txn_size_hist, m.requests, servers)
+    };
+    let gain = throughput(16) / throughput(4);
+    assert!(
+        gain < 2.8,
+        "4x servers should gain well under 4x throughput in the hole, got {gain:.2}x"
+    );
+    assert!(gain > 1.0, "more servers should never hurt, got {gain:.2}x");
+}
+
+#[test]
+fn simulated_no_replication_tpr_tracks_urn_model_on_uniform_requests() {
+    // Cross-validation between the independent implementations: the
+    // cluster simulator with k=1 on uniform random requests must agree
+    // with §II-A's closed form.
+    let (servers, m) = (16usize, 30usize);
+    let cfg = ExperimentConfig::new(SimConfig::basic(servers, 1), 0, 1500);
+    let mut stream = rnb_workload::UniformRequests::new(20_000, m, 3);
+    let metrics = run_experiment(&cfg, 20_000, &mut stream);
+    let analytic = urn::tpr(servers, m);
+    let simulated = metrics.tpr();
+    assert!(
+        (simulated - analytic).abs() / analytic < 0.05,
+        "simulated {simulated:.3} vs analytic {analytic:.3}"
+    );
+}
+
+#[test]
+fn rnb_beats_no_replication_through_full_pipeline() {
+    // Fig 6 through calibration: basic RnB with 4 replicas should raise
+    // estimated throughput substantially at equal server count.
+    let graph = test_graph(4);
+    let model = CostModel::PAPER_ERA;
+    let run = |replication: usize| {
+        let cfg = ExperimentConfig::new(SimConfig::basic(16, replication), 0, 1500);
+        let mut stream = EgoRequests::new(&graph, 5);
+        let m = run_experiment(&cfg, graph.num_nodes(), &mut stream);
+        (
+            m.tpr(),
+            model.cluster_throughput(&m.txn_size_hist, m.requests, 16),
+        )
+    };
+    let (tpr1, thr1) = run(1);
+    let (tpr4, thr4) = run(4);
+    assert!(tpr4 < 0.65 * tpr1, "TPR: {tpr4:.2} vs {tpr1:.2}");
+    assert!(thr4 > 1.25 * thr1, "throughput: {thr4:.0} vs {thr1:.0}");
+}
+
+#[test]
+fn enhanced_rnb_with_2_5x_memory_halves_tpr() {
+    // Fig 8's headline: ~50% TPR reduction at ~2.5× memory with
+    // overbooking + hitchhiking (paper: "increasing the available memory
+    // by a factor of 2.5 achieves the same reduction" as 4x trivial).
+    let graph = test_graph(6);
+    let baseline = {
+        let cfg = ExperimentConfig::new(SimConfig::basic(16, 1), 0, 1500);
+        let mut stream = EgoRequests::new(&graph, 7);
+        run_experiment(&cfg, graph.num_nodes(), &mut stream).tpr()
+    };
+    let enhanced = {
+        let cfg = ExperimentConfig::new(SimConfig::enhanced(16, 4, 2.5), 25_000, 1500);
+        let mut stream = EgoRequests::new(&graph, 7);
+        run_experiment(&cfg, graph.num_nodes(), &mut stream).tpr()
+    };
+    let reduction = 1.0 - enhanced / baseline;
+    assert!(
+        reduction > 0.35,
+        "expected ≳40% TPR reduction at 2.5x memory, got {:.1}% ({enhanced:.2} vs {baseline:.2})",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn excessive_overbooking_can_increase_tpr() {
+    // §III-D's warning: "excessive overbooking can increase TPR!" — at
+    // memory 1.0 (zero replica space) with many declared replicas and no
+    // hitchhiking, planned fetches miss and round 2 adds transactions.
+    let graph = test_graph(8);
+    let tpr_of = |sim: SimConfig| {
+        let cfg = ExperimentConfig::new(sim, 1000, 1200);
+        let mut stream = EgoRequests::new(&graph, 9);
+        run_experiment(&cfg, graph.num_nodes(), &mut stream).tpr()
+    };
+    let baseline = tpr_of(SimConfig::basic(16, 1));
+    let overbooked = tpr_of(SimConfig::enhanced(16, 4, 1.0).with_hitchhiking(false));
+    assert!(
+        overbooked > baseline,
+        "zero-memory overbooking should cost extra transactions: {overbooked:.2} vs {baseline:.2}"
+    );
+}
+
+#[test]
+fn merging_and_limit_compose_with_rnb() {
+    use rnb_workload::LimitSpec;
+    let graph = test_graph(10);
+    let run = |merge: usize, limit: LimitSpec| {
+        let cfg = ExperimentConfig::new(SimConfig::basic(16, 3), 100, 1000)
+            .with_merge_window(merge)
+            .with_limit(limit);
+        let mut stream = EgoRequests::new(&graph, 11);
+        run_experiment(&cfg, graph.num_nodes(), &mut stream)
+    };
+    let plain = run(1, LimitSpec::All);
+    let merged = run(2, LimitSpec::All);
+    let limited = run(1, LimitSpec::Fraction(0.5));
+    // Merged: fewer transactions per user request (two requests share a
+    // merged one).
+    assert!(merged.tpr() / 2.0 < plain.tpr());
+    // LIMIT 50%: strictly cheaper than full fetch.
+    assert!(limited.tpr() < plain.tpr());
+}
+
+#[test]
+fn ego_request_sizes_follow_graph_degrees() {
+    let graph = test_graph(12);
+    let mut stream = EgoRequests::new(&graph, 13);
+    // The degree distribution is fat-tailed (few nodes with thousands of
+    // friends), so the sample mean converges slowly — use many requests
+    // and a tolerance sized to the heavy-tail standard error.
+    let reqs = stream.take_requests(30_000);
+    let stats = rnb_workload::request_stats(&reqs);
+    // Mean request size ≈ edges / eligible users.
+    let eligible = graph.num_nodes() - graph.isolated_sources();
+    let expect = graph.num_edges() as f64 / eligible as f64;
+    assert!(
+        (stats.mean_size - expect).abs() / expect < 0.2,
+        "mean {} vs expected {expect}",
+        stats.mean_size
+    );
+    assert!(stats.min_size >= 1, "ego requests are never empty");
+    assert!(stats.max_size > 10 * expect as usize, "heavy tail missing");
+}
