@@ -51,7 +51,9 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
     let mut out = Vec::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let name = flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.push((name.to_string(), value.clone()));
     }
@@ -59,7 +61,9 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
 }
 
 fn get<'a>(opts: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    opts.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    opts.iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 fn get_num<T: std::str::FromStr>(
@@ -68,7 +72,9 @@ fn get_num<T: std::str::FromStr>(
     default: Option<T>,
 ) -> Result<T, String> {
     match get(opts, name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         None => default.ok_or_else(|| format!("--{name} is required")),
     }
 }
@@ -162,7 +168,11 @@ fn cmd_graph(opts: &[(String, String)]) -> Result<String, String> {
     };
     let scale: usize = get_num(opts, "scale", Some(1))?;
     let seed: u64 = get_num(opts, "seed", Some(rnb_bench::FIG_SEED))?;
-    let spec = if scale > 1 { spec.scaled_down(scale) } else { spec };
+    let spec = if scale > 1 {
+        spec.scaled_down(scale)
+    } else {
+        spec
+    };
     let graph = spec.generate(seed);
     let hist = rnb_graph::DegreeHistogram::of_out_degrees(&graph);
     let mut out = format!(
@@ -202,8 +212,10 @@ mod tests {
 
     #[test]
     fn tpr_command_runs_small() {
-        let out =
-            run(&args("tpr --servers 8 --replicas 3 --request-size 20 --trials 50")).unwrap();
+        let out = run(&args(
+            "tpr --servers 8 --replicas 3 --request-size 20 --trials 50",
+        ))
+        .unwrap();
         assert!(out.contains("mean TPR"));
         assert!(out.contains("reduction"));
     }
@@ -212,11 +224,15 @@ mod tests {
     fn plan_command_full_limit_budget() {
         let full = run(&args("plan --servers 8 --replicas 2 --items 1,2,3,4,5")).unwrap();
         assert!(full.contains("5 items over 8 servers"));
-        let lim =
-            run(&args("plan --servers 8 --replicas 2 --items 1,2,3,4,5 --limit 3")).unwrap();
+        let lim = run(&args(
+            "plan --servers 8 --replicas 2 --items 1,2,3,4,5 --limit 3",
+        ))
+        .unwrap();
         assert!(lim.contains("item(s) planned"));
-        let bud =
-            run(&args("plan --servers 8 --replicas 2 --items 1,2,3,4,5 --budget 1")).unwrap();
+        let bud = run(&args(
+            "plan --servers 8 --replicas 2 --items 1,2,3,4,5 --budget 1",
+        ))
+        .unwrap();
         assert!(bud.contains("1 transaction(s)"));
     }
 

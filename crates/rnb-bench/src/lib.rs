@@ -101,6 +101,9 @@ pub fn memory_sweep_grid(
         .collect()
 }
 
+/// Run one point of the paper's memory-headroom sweep: an enhanced-RnB
+/// simulation at the given replication and memory factor, returning its
+/// steady-state metrics.
 #[allow(clippy::too_many_arguments)] // flat sweep parameters, called from 3 figure binaries
 pub fn memory_sweep_point(
     graph: &rnb_graph::DiGraph,

@@ -1,5 +1,10 @@
 //! The deployable RnB client — the paper's §IV proof-of-concept, end to
 //! end over real sockets.
+
+// Serving-path crate: a panic in the client aborts the caller's request
+// mid-flight, so unwrap/expect are denied outside tests (see the matching
+// attribute in rnb-store and xtask lint rule R1).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! [`RnbClient`] connects to a fleet of `rnb-store` servers (or any
 //! memcached-text-protocol servers) and implements the full RnB read and

@@ -82,7 +82,7 @@ impl BitSet {
 
     /// `|self & other|` without allocating.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
-        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, other.len, "bitsets must share a universe");
         self.words
             .iter()
             .zip(&other.words)
@@ -92,7 +92,7 @@ impl BitSet {
 
     /// `self &= other`.
     pub fn intersect_with(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, other.len, "bitsets must share a universe");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
@@ -100,7 +100,7 @@ impl BitSet {
 
     /// `self |= other`.
     pub fn union_with(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, other.len, "bitsets must share a universe");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
@@ -108,7 +108,7 @@ impl BitSet {
 
     /// `self &= !other` (remove `other`'s bits).
     pub fn difference_with(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, other.len, "bitsets must share a universe");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
         }
@@ -116,13 +116,13 @@ impl BitSet {
 
     /// True if `self` and `other` share no set bit.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, other.len, "bitsets must share a universe");
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// True if every bit of `self` is also set in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, other.len, "bitsets must share a universe");
         self.words
             .iter()
             .zip(&other.words)

@@ -93,7 +93,11 @@ fn branch(
             }
         }
     }
-    debug_assert_ne!(branch_item, u32::MAX);
+    debug_assert_ne!(
+        branch_item,
+        u32::MAX,
+        "uncovered is non-empty here, so some branch item was selected"
+    );
 
     // Try candidate sets in decreasing order of gain for better pruning.
     let mut candidates: Vec<usize> = (0..masks.len())

@@ -43,16 +43,22 @@ pub fn greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolution 
     let mut picks = Vec::new();
 
     while covered < need && picks.len() < budget {
-        let mut best_gain = 0usize;
-        let mut best_idx = usize::MAX;
+        // (gain, idx) of the best positive-gain set this round; `None`
+        // means no set can cover anything still uncovered.
+        let mut best: Option<(usize, usize)> = None;
         for idx in 0..inst.num_sets() {
             let gain = inst.set(idx).intersection_count(&uncovered);
-            if gain > best_gain {
-                best_gain = gain;
-                best_idx = idx;
+            if gain > best.map_or(0, |(g, _)| g) {
+                best = Some((gain, idx));
             }
         }
-        debug_assert!(best_gain > 0, "target resolution guarantees progress");
+        let Some((best_gain, best_idx)) = best else {
+            debug_assert!(
+                false,
+                "cover stalled before target: resolve() clamps need to coverable items"
+            );
+            break;
+        };
         let mut newly = inst.set(best_idx).clone();
         newly.intersect_with(&uncovered);
         uncovered.difference_with(&newly);
@@ -84,9 +90,18 @@ pub fn lazy_greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolu
         .collect();
 
     while covered < need && picks.len() < budget {
-        let (stale_gain, Reverse(idx)) = heap.pop().expect("coverable target");
+        let Some((stale_gain, Reverse(idx))) = heap.pop() else {
+            debug_assert!(
+                false,
+                "cover stalled before target: resolve() clamps need to coverable items"
+            );
+            break;
+        };
         if stale_gain == 0 {
-            debug_assert!(false, "target resolution guarantees progress");
+            debug_assert!(
+                false,
+                "cover stalled before target: resolve() clamps need to coverable items"
+            );
             break;
         }
         let gain = inst.set(idx).intersection_count(&uncovered);
@@ -95,17 +110,30 @@ pub fn lazy_greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolu
             // gains only shrink, so the heap top with a *fresh* gain is the
             // true maximum — but a fresh smaller gain might still be the
             // max; we must compare against the next candidate.
-            if let Some(&(next_gain, _)) = heap.peek() {
-                if gain < next_gain || (gain == next_gain && heap.peek().unwrap().1 .0 < idx) {
+            if let Some(&(next_gain, Reverse(next_idx))) = heap.peek() {
+                if gain < next_gain || (gain == next_gain && next_idx < idx) {
                     heap.push((gain, Reverse(idx)));
                     continue;
                 }
             }
         }
+        if gain == 0 {
+            // The freshest gain is 0 and (by the re-push test above) no
+            // other candidate beats it: nothing left to cover.
+            debug_assert!(
+                false,
+                "cover stalled before target: resolve() clamps need to coverable items"
+            );
+            break;
+        }
         // Fresh enough: take it.
         let mut newly = inst.set(idx).clone();
         newly.intersect_with(&uncovered);
-        debug_assert_eq!(newly.count_ones(), gain);
+        debug_assert_eq!(
+            newly.count_ones(),
+            gain,
+            "refreshed gain must equal the newly-covered popcount"
+        );
         uncovered.difference_with(&newly);
         covered += gain;
         picks.push(Pick {
@@ -201,6 +229,47 @@ mod tests {
         assert_eq!(sol.covered, 3);
     }
 
+    /// An `AtLeast` target promising more than the union of all sets can
+    /// supply must degrade to the best partial cover — identically in both
+    /// variants, in debug and release alike — instead of panicking.
+    #[test]
+    fn over_promising_at_least_degrades_gracefully() {
+        // Only 3 of 10 items are coverable; ask for 8.
+        let inst = inst_from(10, &[&[0], &[1, 2], &[2]]);
+        for solver in [greedy_cover, lazy_greedy_cover] {
+            let sol = solver(&inst, CoverTarget::AtLeast(8));
+            assert_eq!(sol.covered, 3, "partial cover reaches all coverable items");
+            assert!(sol.validate(&inst).is_ok());
+            assert!(sol.picks.iter().all(|p| !p.items.is_empty()));
+        }
+        let a = greedy_cover(&inst, CoverTarget::AtLeast(8));
+        let b = lazy_greedy_cover(&inst, CoverTarget::AtLeast(8));
+        assert_eq!(a.picks, b.picks);
+    }
+
+    /// Over-promising against an instance with no sets at all (the
+    /// degenerate RnB case: every requested item missed the cache map).
+    #[test]
+    fn over_promising_with_no_sets_is_empty_solution() {
+        let inst = CoverInstance::from_sets(5, &[]);
+        for solver in [greedy_cover, lazy_greedy_cover] {
+            let sol = solver(&inst, CoverTarget::AtLeast(5));
+            assert_eq!(sol.covered, 0);
+            assert!(sol.picks.is_empty());
+        }
+    }
+
+    /// Empty sets never become picks, even when they are all there is.
+    #[test]
+    fn all_empty_sets_yield_empty_solution() {
+        let inst = inst_from(4, &[&[], &[], &[]]);
+        for solver in [greedy_cover, lazy_greedy_cover] {
+            let sol = solver(&inst, CoverTarget::AtLeast(2));
+            assert_eq!(sol.covered, 0);
+            assert!(sol.picks.is_empty());
+        }
+    }
+
     #[test]
     fn tie_break_is_lowest_index() {
         let inst = inst_from(4, &[&[0, 1], &[2, 3], &[0, 1]]);
@@ -252,6 +321,50 @@ mod tests {
                 prop_assert_eq!(&a.picks, &b.picks);
                 prop_assert!(a.validate(&inst).is_ok());
                 prop_assert!(a.covered >= need);
+            }
+        }
+
+        /// Equal-gain, stale-heap torture test for the tie-break re-push
+        /// branch in `lazy_greedy_cover`. A small pool of base sets is
+        /// duplicated (duplicates have *exactly* equal gains at every
+        /// round, so the `gain == next_gain && next_idx < idx` comparison
+        /// decides) and overlaid with union sets (whose picks make many
+        /// heap entries stale at once, so refreshed gains keep colliding
+        /// with equal stale ones). The two variants must agree pick for
+        /// pick — same set indices in the same order, not merely equal
+        /// sizes.
+        #[test]
+        fn lazy_tie_break_matches_plain_on_equal_gain_instances(
+            pool in proptest::collection::vec(
+                proptest::collection::vec(0u32..24, 1..6), 1..6),
+            dups in proptest::collection::vec((0usize..6, 0usize..6), 1..8),
+            limit in 0usize..24,
+        ) {
+            // Duplicates force exact gain ties; pairwise unions both
+            // overlap their sources (staleness) and tie with unrelated
+            // same-size sets.
+            let mut sets = pool.clone();
+            for &(a, b) in &dups {
+                let a = a % pool.len();
+                let b = b % pool.len();
+                sets.push(pool[a].clone());
+                let mut merged = pool[a].clone();
+                merged.extend_from_slice(&pool[b]);
+                merged.sort_unstable();
+                merged.dedup();
+                sets.push(merged);
+            }
+            let inst = CoverInstance::from_sets(24, &sets);
+            for target in [
+                CoverTarget::Full,
+                CoverTarget::AtLeast(limit),
+                CoverTarget::MaxPicks(limit / 4),
+            ] {
+                let a = greedy_cover(&inst, target);
+                let b = lazy_greedy_cover(&inst, target);
+                prop_assert_eq!(&a.picks, &b.picks);
+                prop_assert_eq!(a.covered, b.covered);
+                prop_assert!(a.validate(&inst).is_ok());
             }
         }
 

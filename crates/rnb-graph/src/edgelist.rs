@@ -17,7 +17,12 @@ pub enum ParseError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A non-comment line that is not two integers.
-    Malformed { line_no: usize, line: String },
+    Malformed {
+        /// 1-based line number of the offending line.
+        line_no: usize,
+        /// The offending line, verbatim.
+        line: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {

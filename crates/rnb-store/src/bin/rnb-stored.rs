@@ -55,6 +55,9 @@ fn main() {
     }
 }
 
+// CLI usage errors exit the process by design; the workspace-wide
+// `clippy::exit` deny is meant for library code.
+#[allow(clippy::exit)]
 fn die(msg: &str) -> ! {
     eprintln!("rnb-stored: {msg}");
     std::process::exit(2)

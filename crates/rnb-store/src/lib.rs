@@ -1,5 +1,12 @@
 //! A memcached-analog RAM key-value store — the substrate the paper's
 //! micro-benchmarks run against (Appendix).
+
+// Serving-path crate: panics take down a connection (or the whole server
+// thread), so unwrap/expect are denied outside tests. The workspace-wide
+// policy keeps these `allow` (simulation code indexes within checked
+// bounds); the deny is scoped here. xtask lint rule R1 enforces the same
+// contract textually as defense in depth.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //!
 //! The paper calibrates its simulator with memaslap against a real
 //! memcached over 1 GbE. We reproduce the substrate from scratch:

@@ -5,6 +5,15 @@
 //! lines; `set` is followed by a data block of the declared length plus
 //! CRLF.
 
+// Wire-format module: every narrowing here changes what goes on the wire,
+// so lossy `as` casts are denied — use `try_from` and surface the error.
+// xtask lint rule R3 enforces the same contract textually.
+#![deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
+
 use std::io::{self, BufRead, Write};
 
 /// Which storage verb a `set`-shaped command carries.

@@ -1,0 +1,28 @@
+//! Tier-1 guard: the repo-specific static-analysis pass (`cargo run -p
+//! xtask -- lint`) must be clean on every commit. Running it as a plain
+//! workspace test means `cargo test -q` fails the moment a serving-path
+//! `unwrap`, an unseeded RNG, a lossy wire cast, or an unregistered
+//! invariant sneaks in — no CI required.
+
+#[test]
+fn workspace_passes_xtask_lint() {
+    let root = xtask::workspace_root();
+    let report = xtask::lint_workspace(&root).expect("lint scan reads the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "lint scanned only {} files — workspace walk looks broken",
+        report.files_scanned
+    );
+    assert!(
+        report.violations.is_empty(),
+        "xtask lint found {} violation(s):\n{}\n\nrun `cargo run -p xtask -- lint` \
+         for the same report; new invariants go in INVARIANTS.md",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,256 @@
+//! Std-only, offline stand-in for the [`criterion`] benchmark harness.
+//!
+//! Covers the API surface `rnb-bench` uses — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], `criterion_group!` / `criterion_main!` —
+//! with a deliberately simple measurement loop: warm up briefly, run a
+//! fixed wall-clock budget of iterations, and print mean ns/iter (plus
+//! derived throughput). No statistics, no HTML reports, no comparisons;
+//! when the real registry is reachable these numbers should come from real
+//! criterion instead (see ROADMAP.md "Open items").
+//!
+//! Under `cargo test` (which builds bench targets to keep them compiling)
+//! the harness detects the `--test` flag and runs each benchmark body
+//! exactly once, so test runs stay fast.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle, one per bench binary.
+pub struct Criterion {
+    /// Run each body exactly once (set under `cargo test`).
+    smoke_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes bench binaries with `--test`; `cargo bench`
+        // passes `--bench`. Anything with `--test` gets the 1-iteration
+        // smoke run.
+        let smoke_mode = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter component.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the sample count (scales this stand-in's measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher {
+            smoke_mode: self.criterion.smoke_mode,
+            budget: Duration::from_millis(20 * self.sample_size as u64),
+            measured: None,
+        };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    smoke_mode: bool,
+    budget: Duration,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f`, running it repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_mode {
+            black_box(f());
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up: one call outside the measurement.
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut elapsed;
+        loop {
+            black_box(f());
+            iters += 1;
+            elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                break;
+            }
+        }
+        self.measured = Some((iters, elapsed));
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let Some((iters, elapsed)) = self.measured else {
+            println!("bench {name:<50} (no measurement: body never called iter)");
+            return;
+        };
+        if self.smoke_mode {
+            println!("bench {name:<50} smoke-tested (1 iteration)");
+            return;
+        }
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.1} Melem/s", n as f64 / ns_per_iter * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(" ({:.1} MiB/s", n as f64 / ns_per_iter * 1e3 / 1.048_576)
+            }
+        });
+        println!(
+            "bench {name:<50} {ns_per_iter:>12.1} ns/iter over {iters} iters{}",
+            rate.map(|r| r + ")").unwrap_or_default()
+        );
+    }
+}
+
+/// Collect benchmark functions into a runner function named `$group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(1);
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).map(black_box).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn groups_and_benchers_run() {
+        // Unit tests run with `--test` absent from args only under
+        // `cargo test` harness? The harness passes the filter args, so
+        // force smoke mode to keep this instant either way.
+        let mut c = Criterion { smoke_mode: true };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+        assert_eq!(BenchmarkId::from("raw").id, "raw");
+    }
+}

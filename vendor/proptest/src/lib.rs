@@ -1,0 +1,644 @@
+//! Std-only, offline stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a deterministic random-input test harness that covers exactly the
+//! strategy surface the RnB test suites use:
+//!
+//! * integer / float [`Range`](std::ops::Range) strategies (`0u32..40`),
+//! * tuples of strategies (up to arity 8),
+//! * [`strategy::Just`], [`prop_oneof!`], [`Strategy::prop_map`],
+//! * [`collection::vec`] with a size range,
+//! * [`arbitrary::any`] for primitives,
+//! * character-class string patterns (`"[a-z0-9]{1,30}"`),
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream, by design: inputs are generated from a
+//! seed derived from the test's module path (every run explores the same
+//! cases — reproducibility over novelty), and there is **no shrinking**;
+//! a failing case panics with the generated values left to inspect via
+//! the assertion message. For a repo whose north star is bit-for-bit
+//! reproducible simulation, deterministic property inputs are a feature.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy (the result of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (see [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.index(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    mod ranges {
+        use super::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::{Range, RangeInclusive};
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(
+                            self.start < self.end,
+                            "empty range strategy {self:?}"
+                        );
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = (u128::from(rng.next_u64()) % span) as i128;
+                        (self.start as i128 + v) as $t
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let v = (u128::from(rng.next_u64()) % span) as i128;
+                        (lo as i128 + v) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_float_range {
+            ($($t:ty),*) => {$(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(
+                            self.start < self.end,
+                            "empty range strategy {self:?}"
+                        );
+                        self.start + rng.unit() as $t * (self.end - self.start)
+                    }
+                }
+            )*};
+        }
+        impl_float_range!(f32, f64);
+    }
+
+    mod tuples {
+        use super::Strategy;
+        use crate::test_runner::TestRng;
+
+        macro_rules! impl_tuple {
+            ($($name:ident),+) => {
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    #[allow(non_snake_case)]
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(rng),)+)
+                    }
+                }
+            };
+        }
+        impl_tuple!(A);
+        impl_tuple!(A, B);
+        impl_tuple!(A, B, C);
+        impl_tuple!(A, B, C, D);
+        impl_tuple!(A, B, C, D, E);
+        impl_tuple!(A, B, C, D, E, F);
+        impl_tuple!(A, B, C, D, E, F, G);
+        impl_tuple!(A, B, C, D, E, F, G, H);
+    }
+
+    mod string_pattern {
+        use super::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Parse the supported pattern subset: `[class]{min,max}` or a
+        /// bare `[class]`, where `class` is literal characters and `a-z`
+        /// ranges. Returns (alphabet, min, max).
+        fn parse(pattern: &str) -> (Vec<char>, usize, usize) {
+            let bytes: Vec<char> = pattern.chars().collect();
+            assert!(
+                bytes.first() == Some(&'['),
+                "unsupported string strategy {pattern:?}: must start with a \
+                 character class like \"[a-z0-9]{{1,30}}\""
+            );
+            let close = pattern
+                .find(']')
+                .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+            let class: Vec<char> = pattern[1..close].chars().collect();
+            let mut alphabet = Vec::new();
+            let mut i = 0;
+            while i < class.len() {
+                if i + 2 < class.len() && class[i + 1] == '-' {
+                    let (lo, hi) = (class[i], class[i + 2]);
+                    assert!(lo <= hi, "inverted class range in {pattern:?}");
+                    for c in lo..=hi {
+                        alphabet.push(c);
+                    }
+                    i += 3;
+                } else {
+                    alphabet.push(class[i]);
+                    i += 1;
+                }
+            }
+            assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+            let rest = &pattern[close + 1..];
+            if rest.is_empty() {
+                return (alphabet, 1, 1);
+            }
+            let inner = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported quantifier {rest:?} in {pattern:?}"));
+            let (min, max) = match inner.split_once(',') {
+                Some((a, b)) => (a.trim().parse(), b.trim().parse()),
+                None => (inner.trim().parse(), inner.trim().parse()),
+            };
+            let (min, max) = (
+                min.unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                max.unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+            );
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            (alphabet, min, max)
+        }
+
+        impl Strategy for &'static str {
+            type Value = String;
+            fn generate(&self, rng: &mut TestRng) -> String {
+                let (alphabet, min, max) = parse(self);
+                let len = min + rng.index(max - min + 1);
+                (0..len)
+                    .map(|_| alphabet[rng.index(alphabet.len())])
+                    .collect()
+            }
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::parse;
+
+            #[test]
+            fn parses_the_workspace_patterns() {
+                let (alpha, min, max) = parse("[a-zA-Z0-9_.-]{1,40}");
+                assert_eq!((min, max), (1, 40));
+                for c in ['a', 'z', 'A', 'Z', '0', '9', '_', '.', '-'] {
+                    assert!(alpha.contains(&c), "missing {c:?}");
+                }
+                assert_eq!(alpha.len(), 26 + 26 + 10 + 3);
+
+                let (alpha, min, max) = parse("[a-z0-9]{1,30}");
+                assert_eq!((min, max), (1, 30));
+                assert_eq!(alpha.len(), 36);
+
+                let (alpha, min, max) = parse("[xy]");
+                assert_eq!((min, max), (1, 1));
+                assert_eq!(alpha, vec!['x', 'y']);
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! [`any`] — strategies for "any value of a primitive type".
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit() as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            char::from(b' ' + (rng.next_u64() % 95) as u8)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `T`: `any::<u8>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_exclusive - self.size.min;
+            let len = self.size.min + rng.index(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run configuration and the deterministic generator behind the
+    //! [`proptest!`](crate::proptest) macro.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// How many cases each property runs (and, upstream, much more).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 128 keeps whole-workspace runs
+            // quick while still exploring a meaningful input space.
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    /// The generator handed to strategies: a seeded [`StdRng`] whose seed
+    /// is derived from the test's module path, so every run of a given
+    /// test explores the same inputs.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator seeded from `test_path` (FNV-1a).
+        pub fn for_test(test_path: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `0..n` (`n` must be nonzero).
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "index range must be nonzero");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` for each generated input tuple.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Property-test assertion (this stand-in panics instead of recording).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip this generated case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let mut rng = TestRng::for_test("self_test");
+        let strat = (
+            1usize..10,
+            crate::collection::vec(0u32..5, 2..6),
+            any::<bool>(),
+        );
+        for _ in 0..500 {
+            let (n, v, _b) = strat.generate(&mut rng);
+            assert!((1..10).contains(&n));
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::for_test("oneof");
+        let strat = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                5 => seen[2] = true,
+                6 => seen[3] = true,
+                other => panic!("impossible draw {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn string_patterns_generate_matching_text() {
+        let mut rng = TestRng::for_test("strings");
+        let strat = "[a-z0-9]{1,30}";
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!((1..=30).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn same_test_path_reproduces_the_same_stream() {
+        let mut a = TestRng::for_test("stream");
+        let mut b = TestRng::for_test("stream");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns with `mut`, multiple args, trailing
+        /// comma, and assertions.
+        #[test]
+        fn macro_roundtrip(
+            mut xs in crate::collection::vec(0i64..100, 0..20),
+            k in 1usize..4,
+        ) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_ne!(k, 0);
+            prop_assert_eq!(k.min(3), k);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The invariant inventory: a human-written register (INVARIANTS.md) of
+//! every `debug_assert*` message and sentinel-value pattern in non-test
+//! workspace code, cross-checked by lint rule R4 in both directions —
+//! an unregistered site fails the lint, and so does a stale row.
+
+use std::fmt;
+
+/// What an inventory row (or source site) describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// A `debug_assert!`/`debug_assert_eq!`/`debug_assert_ne!` message.
+    DebugAssert,
+    /// A `<int>::MAX` sentinel-value token.
+    Sentinel,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::DebugAssert => "debug_assert",
+            Kind::Sentinel => "sentinel",
+        })
+    }
+}
+
+/// One registered invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative file the invariant lives in.
+    pub file: String,
+    /// Row kind.
+    pub kind: Kind,
+    /// Assertion message (for `debug_assert`) or sentinel token.
+    pub pattern: String,
+    /// Why the invariant holds / what the sentinel means.
+    pub rationale: String,
+}
+
+/// The parsed register.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    entries: Vec<Entry>,
+}
+
+impl Inventory {
+    /// Parse the markdown register: every 4-cell table row
+    /// `| file | kind | pattern | rationale |` outside the header.
+    pub fn parse(text: &str) -> Result<Inventory, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if !line.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.len() != 4 {
+                continue;
+            }
+            // Skip the header and its underline.
+            if cells[0] == "file" || cells[0].chars().all(|c| c == '-' || c == ':') {
+                continue;
+            }
+            let kind = match cells[1] {
+                "debug_assert" => Kind::DebugAssert,
+                "sentinel" => Kind::Sentinel,
+                other => {
+                    return Err(format!(
+                        "INVARIANTS.md line {}: unknown kind {other:?} \
+                         (expected `debug_assert` or `sentinel`)",
+                        idx + 1
+                    ));
+                }
+            };
+            if cells[0].is_empty() || cells[2].is_empty() || cells[3].is_empty() {
+                return Err(format!(
+                    "INVARIANTS.md line {}: empty cell in inventory row",
+                    idx + 1
+                ));
+            }
+            entries.push(Entry {
+                file: cells[0].to_string(),
+                kind,
+                pattern: cells[2].to_string(),
+                rationale: cells[3].to_string(),
+            });
+        }
+        Ok(Inventory { entries })
+    }
+
+    /// All registered rows.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Is `(kind, file, pattern)` registered?
+    pub fn covers(&self, kind: Kind, file: &str, pattern: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.kind == kind && e.file == file && e.pattern == pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Invariants
+
+| file | kind | pattern | rationale |
+|------|------|---------|-----------|
+| crates/a.rs | debug_assert | gain matches | recomputed each round |
+| crates/b.rs | sentinel | usize::MAX | NIL freelist index |
+";
+
+    #[test]
+    fn parses_rows_and_skips_header() {
+        let inv = Inventory::parse(SAMPLE).expect("parses");
+        assert_eq!(inv.entries().len(), 2);
+        assert!(inv.covers(Kind::DebugAssert, "crates/a.rs", "gain matches"));
+        assert!(inv.covers(Kind::Sentinel, "crates/b.rs", "usize::MAX"));
+        assert!(!inv.covers(Kind::Sentinel, "crates/a.rs", "usize::MAX"));
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_empty_cells() {
+        assert!(Inventory::parse("| f.rs | banana | x | y |").is_err());
+        assert!(Inventory::parse("| f.rs | sentinel |  | y |").is_err());
+    }
+
+    #[test]
+    fn ignores_prose_and_narrow_tables() {
+        let inv = Inventory::parse("plain text\n| a | b |\n").expect("parses");
+        assert_eq!(inv.entries().len(), 0);
+    }
+}

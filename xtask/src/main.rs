@@ -1,0 +1,56 @@
+//! `cargo run -p xtask -- <task>` — workspace automation entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown task {other:?}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo run -p xtask -- <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint    run the repo-specific static-analysis rules (R1-R4)");
+}
+
+fn run_lint() -> ExitCode {
+    let root = xtask::workspace_root();
+    match xtask::lint_workspace(&root) {
+        Ok(report) if report.violations.is_empty() => {
+            println!(
+                "lint clean: {} files checked against R1-R4 (serving-path \
+                 panic-freedom, deterministic simulation, lossless wire casts, \
+                 invariant inventory)",
+                report.files_scanned
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                eprintln!("{v}");
+            }
+            eprintln!(
+                "\nlint: {} violation(s) across {} files",
+                report.violations.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("lint: failed to scan workspace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

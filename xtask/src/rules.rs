@@ -1,0 +1,652 @@
+//! The repo-specific lint rules.
+//!
+//! | Rule | Scope | Invariant |
+//! |------|-------|-----------|
+//! | R1 `panic-free-serving-path` | `rnb-store` server/shard/store/protocol, `rnb-client` client | no `unwrap`/`expect`/`panic!`-family in non-test code: errors must propagate as `Result` |
+//! | R2 `deterministic-simulation` | whole workspace | no unseeded randomness anywhere; no wall-clock reads outside the allowlisted measurement/TTL files |
+//! | R3 `lossless-wire-casts` | `rnb-store/src/protocol.rs` | no `as` integer casts in wire-format code: use `try_from` |
+//! | R4 `invariant-inventory` | whole workspace | every non-test `debug_assert*` carries a message registered in INVARIANTS.md; every `::MAX` sentinel is registered; no stale entries |
+//!
+//! All rules match against [`SourceFile::scrubbed`] text, so comments and
+//! string literals can never trip them.
+
+use crate::inventory::{Inventory, Kind};
+use crate::scrub::SourceFile;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One finding. The lint fails when any exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier (`R1`..`R4` plus a slug).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line, 0 for whole-file findings.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Files on the request-serving path, held to the panic-free standard.
+pub const SERVING_PATH: &[&str] = &[
+    "crates/rnb-store/src/server.rs",
+    "crates/rnb-store/src/shard.rs",
+    "crates/rnb-store/src/store.rs",
+    "crates/rnb-store/src/protocol.rs",
+    "crates/rnb-client/src/client.rs",
+];
+
+/// Wire-format files where every integer narrowing must use `try_from`.
+pub const WIRE_FORMAT_PATH: &[&str] = &["crates/rnb-store/src/protocol.rs"];
+
+/// Files allowed to read wall-clock time, with the reason on record.
+/// A stale entry (no remaining wall-clock use) is itself a violation,
+/// so this list cannot rot.
+pub const TIME_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/rnb-bench/",
+        "benchmark harness: measuring wall-clock latency/throughput is its job",
+    ),
+    (
+        "crates/rnb-store/src/loadgen.rs",
+        "load generator: paces and times real requests against real servers",
+    ),
+    (
+        "crates/rnb-store/src/shard.rs",
+        "TTL expiry is defined against wall-clock time by the memcached contract",
+    ),
+];
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const UNSEEDED_RNG_PATTERNS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "rand::rng()",
+    "from_os_rng",
+    "OsRng",
+];
+
+const WALLCLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
+
+/// Sentinel tokens that must be registered in the invariant inventory.
+pub const SENTINEL_TOKENS: &[&str] = &[
+    "usize::MAX",
+    "u64::MAX",
+    "u32::MAX",
+    "u16::MAX",
+    "u8::MAX",
+    "i64::MAX",
+    "i32::MAX",
+];
+
+/// Every byte offset at which `pattern` occurs in non-test scrubbed code.
+fn non_test_occurrences<'a>(
+    file: &'a SourceFile,
+    pattern: &'a str,
+) -> impl Iterator<Item = usize> + 'a {
+    let mut search = 0;
+    std::iter::from_fn(move || {
+        while let Some(found) = file.scrubbed[search..].find(pattern) {
+            let offset = search + found;
+            search = offset + pattern.len();
+            if !file.in_test_code(offset) {
+                return Some(offset);
+            }
+        }
+        None
+    })
+}
+
+/// R1: the serving path must propagate errors, not panic.
+pub fn check_panic_free(file: &SourceFile) -> Vec<Violation> {
+    if !SERVING_PATH.contains(&file.rel_path.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for pattern in PANIC_PATTERNS {
+        for offset in non_test_occurrences(file, pattern) {
+            out.push(Violation {
+                rule: "R1/panic-free-serving-path",
+                file: file.rel_path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "`{pattern}` in serving-path code; propagate a Result instead \
+                     (`{}`)",
+                    file.excerpt(offset)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R2: simulations must be deterministic — no unseeded randomness at all,
+/// and wall-clock reads only in allowlisted measurement/TTL files.
+pub fn check_determinism(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for pattern in UNSEEDED_RNG_PATTERNS {
+        for offset in non_test_occurrences(file, pattern) {
+            out.push(Violation {
+                rule: "R2/deterministic-simulation",
+                file: file.rel_path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "`{pattern}` is unseeded randomness; take a seed and use \
+                     `StdRng::seed_from_u64` (`{}`)",
+                    file.excerpt(offset)
+                ),
+            });
+        }
+    }
+    let allowed = TIME_ALLOWLIST
+        .iter()
+        .any(|(prefix, _)| file.rel_path.starts_with(prefix));
+    if !allowed {
+        for pattern in WALLCLOCK_PATTERNS {
+            for offset in non_test_occurrences(file, pattern) {
+                out.push(Violation {
+                    rule: "R2/deterministic-simulation",
+                    file: file.rel_path.clone(),
+                    line: file.line_of(offset),
+                    message: format!(
+                        "`{pattern}` outside the time allowlist; thread a logical \
+                         clock through instead, or add an allowlist entry with a \
+                         written reason in xtask/src/rules.rs (`{}`)",
+                        file.excerpt(offset)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Which wall-clock allowlist entries are actually exercised by `files`.
+pub fn used_time_allowlist_entries(files: &[SourceFile]) -> BTreeSet<&'static str> {
+    let mut used = BTreeSet::new();
+    for (prefix, _) in TIME_ALLOWLIST {
+        for file in files {
+            if file.rel_path.starts_with(prefix)
+                && WALLCLOCK_PATTERNS
+                    .iter()
+                    .any(|p| non_test_occurrences(file, p).next().is_some())
+            {
+                used.insert(*prefix);
+            }
+        }
+    }
+    used
+}
+
+/// R2 (hygiene): allowlist entries must still be needed.
+pub fn check_stale_allowlist(files: &[SourceFile]) -> Vec<Violation> {
+    let used = used_time_allowlist_entries(files);
+    TIME_ALLOWLIST
+        .iter()
+        .filter(|(prefix, _)| !used.contains(prefix))
+        .map(|(prefix, _)| Violation {
+            rule: "R2/deterministic-simulation",
+            file: prefix.to_string(),
+            line: 0,
+            message: format!(
+                "stale time allowlist entry `{prefix}`: no wall-clock use remains; \
+                 remove it from xtask/src/rules.rs"
+            ),
+        })
+        .collect()
+}
+
+const INT_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// R3: wire-format code converts integers with `try_from`, never `as`.
+pub fn check_wire_casts(file: &SourceFile) -> Vec<Violation> {
+    if !WIRE_FORMAT_PATH.contains(&file.rel_path.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for offset in non_test_occurrences(file, " as ") {
+        let after = &file.scrubbed[offset + 4..];
+        let token: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if INT_CAST_TARGETS.contains(&token.as_str()) {
+            out.push(Violation {
+                rule: "R3/lossless-wire-casts",
+                file: file.rel_path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "integer `as {token}` cast in wire-format code; use \
+                     `{token}::try_from` and surface the error (`{}`)",
+                    file.excerpt(offset)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// A `debug_assert*` site or sentinel token occurrence found in source.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct InvariantSite {
+    /// Which kind of invariant marker this is.
+    pub kind: Kind,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The registered identity: assertion message, or sentinel token.
+    pub pattern: String,
+}
+
+/// Extract every non-test invariant site from `file`.
+///
+/// `debug_assert!`/`debug_assert_eq!`/`debug_assert_ne!` sites yield their
+/// message string (the first argument that is a string literal at the
+/// macro's top nesting level); a missing message is reported as a
+/// violation because an unlabeled invariant cannot be registered.
+pub fn collect_invariant_sites(file: &SourceFile) -> (Vec<InvariantSite>, Vec<Violation>) {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    for offset in non_test_occurrences(file, "debug_assert") {
+        // Skip the `debug_assert_eq`-suffix matches of plain "debug_assert".
+        let Some(open_rel) = file.scrubbed[offset..].find('(') else {
+            continue;
+        };
+        let head = &file.scrubbed[offset..offset + open_rel];
+        if !matches!(
+            head.trim_end_matches('!'),
+            "debug_assert" | "debug_assert_eq" | "debug_assert_ne"
+        ) {
+            continue;
+        }
+        let open = offset + open_rel;
+        let Some(close) = matching_paren(&file.scrubbed, open) else {
+            continue;
+        };
+        match extract_message(file, open, close) {
+            Some(message) => sites.push(InvariantSite {
+                kind: Kind::DebugAssert,
+                file: file.rel_path.clone(),
+                line: file.line_of(offset),
+                pattern: message,
+            }),
+            None => violations.push(Violation {
+                rule: "R4/invariant-inventory",
+                file: file.rel_path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "`{head}` without a message: label the invariant so it can \
+                     be registered in INVARIANTS.md (`{}`)",
+                    file.excerpt(offset)
+                ),
+            }),
+        }
+    }
+    for token in SENTINEL_TOKENS {
+        for offset in non_test_occurrences(file, token) {
+            // `usize::MAX` also matches inside `u32::MAX`? No — but make
+            // sure we are at a token boundary on the left (e.g. not a
+            // hypothetical `busize::MAX`).
+            if offset > 0 {
+                let prev = file.scrubbed.as_bytes()[offset - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            sites.push(InvariantSite {
+                kind: Kind::Sentinel,
+                file: file.rel_path.clone(),
+                line: file.line_of(offset),
+                pattern: (*token).to_string(),
+            });
+        }
+    }
+    (sites, violations)
+}
+
+/// R4: cross-check collected sites against the inventory, both ways.
+pub fn check_inventory(sites: &[InvariantSite], inventory: &Inventory) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for site in sites {
+        if !inventory.covers(site.kind, &site.file, &site.pattern) {
+            out.push(Violation {
+                rule: "R4/invariant-inventory",
+                file: site.file.clone(),
+                line: site.line,
+                message: format!(
+                    "unregistered {} `{}`: add a row to INVARIANTS.md explaining \
+                     why this invariant holds",
+                    site.kind, site.pattern
+                ),
+            });
+        }
+    }
+    for entry in inventory.entries() {
+        let live = sites
+            .iter()
+            .any(|s| s.kind == entry.kind && s.file == entry.file && s.pattern == entry.pattern);
+        if !live {
+            out.push(Violation {
+                rule: "R4/invariant-inventory",
+                file: entry.file.clone(),
+                line: 0,
+                message: format!(
+                    "stale inventory row ({} `{}`): no matching site remains; \
+                     remove or update the INVARIANTS.md entry",
+                    entry.kind, entry.pattern
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open` (scrubbed text, so string
+/// contents cannot unbalance it).
+fn matching_paren(scrubbed: &str, open: usize) -> Option<usize> {
+    let b = scrubbed.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The message argument of a `debug_assert*` call spanning `open..=close`:
+/// the first top-level comma-separated argument that begins with a string
+/// literal. Returns its raw contents.
+fn extract_message(file: &SourceFile, open: usize, close: usize) -> Option<String> {
+    let b = file.scrubbed.as_bytes();
+    let mut depth = 0usize;
+    let mut arg_start = open + 1;
+    let mut i = open;
+    while i <= close {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b',' if depth == 1 => {
+                if let Some(msg) = string_literal_at(file, arg_start, i) {
+                    return Some(msg);
+                }
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    string_literal_at(file, arg_start, close)
+}
+
+/// If the argument in `range` starts with a string literal, return its
+/// raw (unscrubbed) contents.
+fn string_literal_at(file: &SourceFile, start: usize, end: usize) -> Option<String> {
+    let slice = &file.scrubbed[start..end];
+    let rel = slice.find(|c: char| !c.is_whitespace())?;
+    if !slice[rel..].starts_with('"') {
+        return None;
+    }
+    let lit_start = start + rel + 1;
+    let lit_end = lit_start + file.scrubbed[lit_start..end].find('"')?;
+    Some(file.raw[lit_start..lit_end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::Inventory;
+
+    fn serving(src: &str) -> SourceFile {
+        SourceFile::new("crates/rnb-store/src/server.rs", src)
+    }
+
+    // -------- R1 --------
+
+    #[test]
+    fn r1_detects_each_panic_pattern() {
+        for line in [
+            "fn f() { x.unwrap(); }",
+            "fn f() { x.expect(\"boom\"); }",
+            "fn f() { panic!(\"boom\"); }",
+            "fn f() { unreachable!(); }",
+            "fn f() { todo!(); }",
+            "fn f() { unimplemented!(); }",
+        ] {
+            let v = check_panic_free(&serving(line));
+            assert_eq!(v.len(), 1, "expected one finding for {line:?}: {v:?}");
+            assert_eq!(v[0].rule, "R1/panic-free-serving-path");
+            assert_eq!(v[0].line, 1);
+        }
+    }
+
+    #[test]
+    fn r1_ignores_tests_comments_strings_and_other_files() {
+        let masked = serving(
+            "fn ok() -> Result<(), E> { Ok(()) }\n\
+             // a comment saying .unwrap()\n\
+             /// docs: call .unwrap() freely\n\
+             fn s() { let m = \"panic!(\"; }\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn t() { x.unwrap(); panic!(\"fine\"); }\n}\n",
+        );
+        assert_eq!(check_panic_free(&masked), Vec::new());
+        let elsewhere = SourceFile::new("crates/rnb-sim/src/lru.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(check_panic_free(&elsewhere), Vec::new());
+    }
+
+    // -------- R2 --------
+
+    #[test]
+    fn r2_detects_unseeded_randomness_everywhere() {
+        for line in [
+            "fn f() { let mut r = rand::rng(); }",
+            "fn f() { let mut r = thread_rng(); }",
+            "fn f() { let r = StdRng::from_entropy(); }",
+            "fn f() { let r = StdRng::from_os_rng(); }",
+        ] {
+            let f = SourceFile::new("crates/rnb-sim/src/cluster.rs", line);
+            let v = check_determinism(&f);
+            assert_eq!(v.len(), 1, "expected one finding for {line:?}");
+        }
+        // Even inside allowlisted files: the time allowlist never excuses
+        // unseeded randomness.
+        let f = SourceFile::new(
+            "crates/rnb-store/src/loadgen.rs",
+            "fn f() { let mut r = thread_rng(); }",
+        );
+        assert_eq!(check_determinism(&f).len(), 1);
+    }
+
+    #[test]
+    fn r2_flags_wallclock_outside_allowlist_only() {
+        let outside = SourceFile::new(
+            "crates/rnb-sim/src/cluster.rs",
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); }",
+        );
+        assert_eq!(check_determinism(&outside).len(), 2);
+        let inside = SourceFile::new(
+            "crates/rnb-store/src/loadgen.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(check_determinism(&inside), Vec::new());
+        let bench = SourceFile::new(
+            "crates/rnb-bench/src/bin/ext_scale.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(check_determinism(&bench), Vec::new());
+    }
+
+    #[test]
+    fn r2_seeded_randomness_is_fine() {
+        let f = SourceFile::new(
+            "crates/rnb-sim/src/cluster.rs",
+            "fn f(seed: u64) { let mut r = StdRng::seed_from_u64(seed); }",
+        );
+        assert_eq!(check_determinism(&f), Vec::new());
+    }
+
+    #[test]
+    fn r2_stale_allowlist_entries_are_flagged() {
+        // None of these files read the clock, so every entry is stale.
+        let files = vec![SourceFile::new(
+            "crates/rnb-store/src/loadgen.rs",
+            "fn quiet() {}",
+        )];
+        let v = check_stale_allowlist(&files);
+        assert_eq!(v.len(), TIME_ALLOWLIST.len());
+        // One real use marks exactly that entry live.
+        let files = vec![SourceFile::new(
+            "crates/rnb-store/src/loadgen.rs",
+            "fn f() { let t = Instant::now(); }",
+        )];
+        let v = check_stale_allowlist(&files);
+        assert_eq!(v.len(), TIME_ALLOWLIST.len() - 1);
+        assert!(v.iter().all(|v| !v.file.contains("loadgen")));
+    }
+
+    // -------- R3 --------
+
+    #[test]
+    fn r3_detects_lossy_int_casts_in_wire_code() {
+        let f = SourceFile::new(
+            "crates/rnb-store/src/protocol.rs",
+            "fn f(n: u64) -> u16 { n as u16 }",
+        );
+        let v = check_wire_casts(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R3/lossless-wire-casts");
+    }
+
+    #[test]
+    fn r3_allows_float_casts_nontarget_files_and_tests() {
+        let float = SourceFile::new(
+            "crates/rnb-store/src/protocol.rs",
+            "fn f(n: u64) -> f64 { n as f64 }",
+        );
+        assert_eq!(check_wire_casts(&float), Vec::new());
+        let elsewhere = SourceFile::new(
+            "crates/rnb-sim/src/cluster.rs",
+            "fn f(n: u64) -> u16 { n as u16 }",
+        );
+        assert_eq!(check_wire_casts(&elsewhere), Vec::new());
+        let test_code = SourceFile::new(
+            "crates/rnb-store/src/protocol.rs",
+            "#[cfg(test)]\nmod tests { fn f(n: u64) -> u16 { n as u16 } }",
+        );
+        assert_eq!(check_wire_casts(&test_code), Vec::new());
+    }
+
+    // -------- R4 --------
+
+    fn inventory(rows: &str) -> Inventory {
+        Inventory::parse(rows).expect("fixture inventory parses")
+    }
+
+    #[test]
+    fn r4_requires_registration_of_debug_assert_messages() {
+        let f = SourceFile::new(
+            "crates/rnb-cover/src/bitset.rs",
+            "fn f() { debug_assert!(i < n, \"bit out of universe\"); }",
+        );
+        let (sites, missing) = collect_invariant_sites(&f);
+        assert_eq!(missing, Vec::new());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].pattern, "bit out of universe");
+
+        let empty = inventory("| file | kind | pattern | rationale |\n|---|---|---|---|\n");
+        assert_eq!(check_inventory(&sites, &empty).len(), 1);
+
+        let good = inventory(
+            "| crates/rnb-cover/src/bitset.rs | debug_assert | bit out of universe | checked |",
+        );
+        assert_eq!(check_inventory(&sites, &good), Vec::new());
+    }
+
+    #[test]
+    fn r4_flags_messageless_debug_asserts() {
+        let f = SourceFile::new(
+            "crates/rnb-cover/src/bitset.rs",
+            "fn f() { debug_assert_eq!(a.len, b.len); }",
+        );
+        let (sites, missing) = collect_invariant_sites(&f);
+        assert_eq!(sites, Vec::new());
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("without a message"));
+    }
+
+    #[test]
+    fn r4_extracts_messages_from_eq_and_multiline_forms() {
+        let f = SourceFile::new(
+            "crates/rnb-sim/src/cluster.rs",
+            "fn f() {\n    debug_assert_eq!(\n        a(x, y),\n        b,\n        \
+             \"accounting reconciles\"\n    );\n}",
+        );
+        let (sites, missing) = collect_invariant_sites(&f);
+        assert_eq!(missing, Vec::new());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].pattern, "accounting reconciles");
+    }
+
+    #[test]
+    fn r4_registers_sentinels_and_flags_stale_rows() {
+        let f = SourceFile::new(
+            "crates/rnb-sim/src/lru.rs",
+            "const NIL: usize = usize::MAX;\n",
+        );
+        let (sites, _) = collect_invariant_sites(&f);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, Kind::Sentinel);
+
+        let unregistered = inventory("| a | sentinel | u32::MAX | n/a |");
+        let v = check_inventory(&sites, &unregistered);
+        // One unregistered site + one stale row.
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|v| v.message.contains("unregistered")));
+        assert!(v.iter().any(|v| v.message.contains("stale")));
+
+        let good =
+            inventory("| crates/rnb-sim/src/lru.rs | sentinel | usize::MAX | freelist NIL |");
+        assert_eq!(check_inventory(&sites, &good), Vec::new());
+    }
+
+    #[test]
+    fn r4_ignores_test_code_sites() {
+        let f = SourceFile::new(
+            "crates/rnb-hash/src/jump.rs",
+            "#[cfg(test)]\nmod tests { fn f() { let k = u64::MAX; debug_assert!(true); } }",
+        );
+        let (sites, missing) = collect_invariant_sites(&f);
+        assert_eq!(sites, Vec::new());
+        assert_eq!(missing, Vec::new());
+    }
+}
