@@ -2,7 +2,7 @@
 
 use crate::keys::item_key;
 use crate::stats::ClientStats;
-use rnb_core::{Bundler, PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+use rnb_core::{Bundler, PlacementStrategy, PlanScratch, RnbConfig, WritePlanner, WritePolicy};
 use rnb_hash::{ItemId, Placement, ServerId};
 use rnb_store::StoreClient;
 use std::collections::HashMap;
@@ -62,6 +62,9 @@ pub struct RnbClient {
     writer: WritePlanner<PlacementStrategy>,
     config: RnbClientConfig,
     stats: ClientStats,
+    /// Pooled planning buffers, reused across `multi_get` calls so the
+    /// per-request cover computation is allocation-free at steady state.
+    scratch: PlanScratch,
 }
 
 impl RnbClient {
@@ -87,6 +90,7 @@ impl RnbClient {
             writer,
             config,
             stats: ClientStats::default(),
+            scratch: PlanScratch::new(),
         })
     }
 
@@ -109,7 +113,7 @@ impl RnbClient {
     /// position; `None` means no server (including the distinguished
     /// copy) holds the item.
     pub fn multi_get(&mut self, items: &[ItemId]) -> io::Result<Vec<Option<Vec<u8>>>> {
-        let plan = self.bundler.plan(items);
+        let plan = self.bundler.plan_with(&mut self.scratch, items);
         let placement = self.bundler.placement();
 
         // Hitchhikers per transaction.

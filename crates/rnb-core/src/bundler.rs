@@ -3,15 +3,38 @@
 use crate::config::RnbConfig;
 use crate::placement::PlacementStrategy;
 use crate::plan::{FetchPlan, Transaction};
-use rnb_cover::{greedy_cover, lazy_greedy_cover, CoverInstance, CoverTarget};
+use rnb_cover::{CoverTarget, Planner};
+use rnb_hash::{ItemId, Placement, ServerId};
 
-/// Above this candidate-set count the planner switches from the plain
-/// re-scan greedy to the lazy-evaluation variant. The two produce
-/// identical solutions (see `rnb_cover::greedy` tests); lazy wins once
-/// re-scanning every server per round dominates (large clusters and
-/// requests — the §V-B scalability regime).
-const LAZY_GREEDY_THRESHOLD_SETS: usize = 64;
-use rnb_hash::{ItemId, Placement};
+/// Reusable per-caller planning state: every buffer the bundler needs to
+/// turn a raw request into a [`FetchPlan`] — the dedup'd item list, the
+/// flat candidate table, and the cover [`Planner`]'s pooled scratch.
+///
+/// Hold one per planning thread (the simulator keeps one per
+/// `SimCluster`, the client one per `RnbClient`) and pass it to the
+/// `*_into`/`*_with` planning entry points; after the first request of a
+/// given shape, planning performs no steady-state allocations (see
+/// `rnb-cover/tests/zero_alloc.rs` and the `planner` bench).
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// Sorted, dedup'd request items; cover item index `i` = `items[i]`.
+    items: Vec<ItemId>,
+    /// Per-item replica lookup buffer.
+    replicas: Vec<ServerId>,
+    /// Flat candidate table: item `i`'s candidate servers are
+    /// `cand_flat[cand_off[i]..cand_off[i + 1]]`.
+    cand_flat: Vec<u32>,
+    cand_off: Vec<u32>,
+    /// The pooled cover solver.
+    planner: Planner,
+}
+
+impl PlanScratch {
+    /// Empty pools; the first planned request grows them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Plans multi-get requests over a replica placement.
 ///
@@ -56,14 +79,18 @@ impl<P: Placement> Bundler<P> {
     }
 
     /// Plan a full fetch of `request` (duplicates ignored).
+    ///
+    /// One-shot convenience over a throwaway [`PlanScratch`]; hot loops
+    /// should hold a scratch and use [`Bundler::plan_into`] /
+    /// [`Bundler::plan_with`] so pooled buffers are reused.
     pub fn plan(&self, request: &[ItemId]) -> FetchPlan {
-        self.plan_target(request, Target::Full)
+        self.plan_with(&mut PlanScratch::new(), request)
     }
 
     /// Plan a LIMIT fetch: at least `min_items` of `request` (§III-F).
     /// `min_items` is clamped to the number of distinct requested items.
     pub fn plan_limit(&self, request: &[ItemId], min_items: usize) -> FetchPlan {
-        self.plan_target(request, Target::AtLeast(min_items))
+        self.plan_limit_with(&mut PlanScratch::new(), request, min_items)
     }
 
     /// Plan a deadline fetch: as many of `request`'s items as at most
@@ -72,78 +99,145 @@ impl<P: Placement> Bundler<P> {
     /// following list within X milliseconds" (§III-F): per-transaction
     /// latency dominates, so a deadline is a transaction budget.
     pub fn plan_budget(&self, request: &[ItemId], max_transactions: usize) -> FetchPlan {
-        self.plan_target(request, Target::MaxTxns(max_transactions))
+        self.plan_budget_with(&mut PlanScratch::new(), request, max_transactions)
     }
 
-    fn plan_target(&self, request: &[ItemId], target: Target) -> FetchPlan {
-        let mut items: Vec<ItemId> = request.to_vec();
+    /// [`Bundler::plan`] reusing `scratch`'s pooled buffers.
+    pub fn plan_with(&self, scratch: &mut PlanScratch, request: &[ItemId]) -> FetchPlan {
+        let mut out = FetchPlan::default();
+        self.plan_into(scratch, request, &mut out);
+        out
+    }
+
+    /// [`Bundler::plan_limit`] reusing `scratch`'s pooled buffers.
+    pub fn plan_limit_with(
+        &self,
+        scratch: &mut PlanScratch,
+        request: &[ItemId],
+        min_items: usize,
+    ) -> FetchPlan {
+        let mut out = FetchPlan::default();
+        self.plan_limit_into(scratch, request, min_items, &mut out);
+        out
+    }
+
+    /// [`Bundler::plan_budget`] reusing `scratch`'s pooled buffers.
+    pub fn plan_budget_with(
+        &self,
+        scratch: &mut PlanScratch,
+        request: &[ItemId],
+        max_transactions: usize,
+    ) -> FetchPlan {
+        let mut out = FetchPlan::default();
+        self.plan_budget_into(scratch, request, max_transactions, &mut out);
+        out
+    }
+
+    /// Fully pooled [`Bundler::plan`]: overwrites `out` in place, reusing
+    /// its transaction buffers. With a warmed `scratch` and an `out` of
+    /// stable shape, planning makes zero allocator calls.
+    pub fn plan_into(&self, scratch: &mut PlanScratch, request: &[ItemId], out: &mut FetchPlan) {
+        self.plan_target_into(scratch, request, Target::Full, out);
+    }
+
+    /// Fully pooled [`Bundler::plan_limit`]; see [`Bundler::plan_into`].
+    pub fn plan_limit_into(
+        &self,
+        scratch: &mut PlanScratch,
+        request: &[ItemId],
+        min_items: usize,
+        out: &mut FetchPlan,
+    ) {
+        self.plan_target_into(scratch, request, Target::AtLeast(min_items), out);
+    }
+
+    /// Fully pooled [`Bundler::plan_budget`]; see [`Bundler::plan_into`].
+    pub fn plan_budget_into(
+        &self,
+        scratch: &mut PlanScratch,
+        request: &[ItemId],
+        max_transactions: usize,
+        out: &mut FetchPlan,
+    ) {
+        self.plan_target_into(scratch, request, Target::MaxTxns(max_transactions), out);
+    }
+
+    fn plan_target_into(
+        &self,
+        scratch: &mut PlanScratch,
+        request: &[ItemId],
+        target: Target,
+        out: &mut FetchPlan,
+    ) {
+        let PlanScratch {
+            items,
+            replicas,
+            cand_flat,
+            cand_off,
+            planner,
+        } = scratch;
+        items.clear();
+        items.extend_from_slice(request);
         items.sort_unstable();
         items.dedup();
         let requested = items.len();
+        out.requested = requested;
 
         if items.is_empty() {
-            return FetchPlan {
-                transactions: Vec::new(),
-                requested: 0,
-            };
+            out.transactions.clear();
+            return;
         }
 
         // Fast path: one item → its distinguished copy, no cover needed.
-        if items.len() == 1 {
+        if requested == 1 {
             if matches!(target, Target::AtLeast(0) | Target::MaxTxns(0)) {
-                return FetchPlan {
-                    transactions: Vec::new(),
-                    requested,
-                };
+                out.transactions.clear();
+                return;
             }
             let server = if self.single_item_to_distinguished {
                 self.placement.distinguished(items[0])
             } else {
-                self.placement.replicas(items[0])[0]
+                self.placement.replicas_into(items[0], replicas);
+                replicas[0]
             };
-            return FetchPlan {
-                transactions: vec![Transaction { server, items }],
-                requested,
-            };
+            let slot = txn_slot(&mut out.transactions, 0, server);
+            slot.push(items[0]);
+            out.transactions.truncate(1);
+            return;
         }
 
-        // Build the cover instance: candidates[i] = replica servers of
-        // items[i].
-        let mut scratch = Vec::with_capacity(self.placement.replication());
-        let candidates: Vec<Vec<u32>> = items
-            .iter()
-            .map(|&item| {
-                self.placement.replicas_into(item, &mut scratch);
-                scratch.to_vec()
-            })
-            .collect();
-        let inst = CoverInstance::from_item_candidates(&candidates);
+        // Flat candidate table: cand_flat[cand_off[i]..cand_off[i+1]] =
+        // replica servers of items[i]. Fed straight to the planner — no
+        // CoverInstance, no per-item Vec.
+        cand_flat.clear();
+        cand_off.clear();
+        cand_off.push(0);
+        for &item in items.iter() {
+            self.placement.replicas_into(item, replicas);
+            cand_flat.extend_from_slice(replicas);
+            cand_off.push(cand_flat.len() as u32);
+        }
         let cover_target = match target {
             Target::Full => CoverTarget::Full,
             Target::AtLeast(k) => CoverTarget::AtLeast(k.min(requested)),
             Target::MaxTxns(t) => CoverTarget::MaxPicks(t),
         };
-        let solution = if inst.num_sets() > LAZY_GREEDY_THRESHOLD_SETS {
-            lazy_greedy_cover(&inst, cover_target)
-        } else {
-            greedy_cover(&inst, cover_target)
-        };
+        let cover = planner.solve_flat_candidates(cand_off, cand_flat, cover_target);
 
-        let mut transactions: Vec<Transaction> = solution
-            .picks
-            .into_iter()
-            .map(|pick| Transaction {
-                server: pick.label,
-                items: pick.items.iter().map(|&idx| items[idx as usize]).collect(),
-            })
-            .collect();
+        let mut n = 0usize;
+        for pick in cover.picks() {
+            let slot = txn_slot(&mut out.transactions, n, pick.label);
+            slot.extend(pick.items.iter().map(|&idx| items[idx as usize]));
+            n += 1;
+        }
+        out.transactions.truncate(n);
 
         // §III-C1: a transaction that ended up with a single item is
         // redirected to that item's distinguished copy, then transactions
         // to the same server are re-merged (redirection may create pairs).
         if self.single_item_to_distinguished {
             let mut changed = false;
-            for t in &mut transactions {
+            for t in out.transactions.iter_mut() {
                 if t.items.len() == 1 {
                     let d = self.placement.distinguished(t.items[0]);
                     if d != t.server {
@@ -153,15 +247,26 @@ impl<P: Placement> Bundler<P> {
                 }
             }
             if changed {
-                transactions = merge_by_server(transactions);
+                merge_by_server(&mut out.transactions);
             }
         }
-
-        FetchPlan {
-            transactions,
-            requested,
-        }
     }
+}
+
+/// Reuse (or create) transaction slot `idx` of `transactions` for
+/// `server`, returning its cleared item buffer — the pooled counterpart of
+/// pushing a fresh `Transaction`.
+fn txn_slot(transactions: &mut Vec<Transaction>, idx: usize, server: ServerId) -> &mut Vec<ItemId> {
+    if idx == transactions.len() {
+        transactions.push(Transaction {
+            server,
+            items: Vec::new(),
+        });
+    } else {
+        transactions[idx].server = server;
+        transactions[idx].items.clear();
+    }
+    &mut transactions[idx].items
 }
 
 /// Internal planning target (maps onto [`CoverTarget`]).
@@ -172,17 +277,23 @@ enum Target {
     MaxTxns(usize),
 }
 
-/// Merge transactions targeting the same server, preserving first-seen
-/// order of servers.
-fn merge_by_server(transactions: Vec<Transaction>) -> Vec<Transaction> {
-    let mut merged: Vec<Transaction> = Vec::with_capacity(transactions.len());
-    for t in transactions {
-        match merged.iter_mut().find(|m| m.server == t.server) {
-            Some(m) => m.items.extend(t.items),
-            None => merged.push(t),
+/// Merge transactions targeting the same server in place, preserving
+/// first-seen order of servers. Items of a merged-away transaction are
+/// appended (moved, not copied) onto the first transaction for that
+/// server.
+fn merge_by_server(transactions: &mut Vec<Transaction>) {
+    let mut kept = 0usize;
+    for i in 0..transactions.len() {
+        let server = transactions[i].server;
+        if let Some(m) = transactions[..kept].iter().position(|m| m.server == server) {
+            let (head, tail) = transactions.split_at_mut(i);
+            head[m].items.append(&mut tail[0].items);
+        } else {
+            transactions.swap(kept, i);
+            kept += 1;
         }
     }
-    merged
+    transactions.truncate(kept);
 }
 
 #[cfg(test)]
@@ -352,10 +463,10 @@ mod tests {
     }
 
     #[test]
-    fn lazy_switchover_is_transparent() {
-        // A 256-server cluster with a 300-item request crosses the lazy
-        // threshold; results must be identical to a hand-forced plain
-        // greedy (verified structurally: valid plan, every item once).
+    fn large_instances_plan_correctly() {
+        // A 256-server cluster with a 300-item request exercises the
+        // planner's multi-word dense path and the exhausted-set skip list
+        // at scale (this used to be the lazy-greedy switchover regime).
         let b = bundler(256, 3);
         let request: Vec<ItemId> = (0..300).map(|i| i * 31).collect();
         let plan = b.plan(&request);
@@ -365,13 +476,45 @@ mod tests {
         let mut expect = request.clone();
         expect.sort_unstable();
         assert_eq!(items, expect);
-        // Identical plans across calls (determinism through the lazy path).
+        // Identical plans across calls (determinism through the planner).
         assert_eq!(plan.transactions, b.plan(&request).transactions);
+    }
+
+    /// A reused scratch must be invisible in the output: `plan_with` on a
+    /// warm scratch equals a fresh one-shot `plan`, for every target kind,
+    /// across interleaved shapes.
+    #[test]
+    fn scratch_reuse_matches_one_shot_plans() {
+        let b = bundler(16, 3);
+        let mut scratch = PlanScratch::new();
+        let requests: Vec<Vec<ItemId>> = vec![
+            (0..40).collect(),
+            vec![7],
+            (100..103).collect(),
+            vec![],
+            (0..40).map(|i| i * 9).collect(),
+        ];
+        for request in &requests {
+            let full = b.plan_with(&mut scratch, request);
+            assert_eq!(full.transactions, b.plan(request).transactions);
+            let lim = b.plan_limit_with(&mut scratch, request, 10);
+            assert_eq!(lim.transactions, b.plan_limit(request, 10).transactions);
+            let bud = b.plan_budget_with(&mut scratch, request, 3);
+            assert_eq!(bud.transactions, b.plan_budget(request, 3).transactions);
+        }
+        // plan_into reuses the output plan's transaction buffers too.
+        let mut out = FetchPlan::default();
+        for request in &requests {
+            b.plan_into(&mut scratch, request, &mut out);
+            let fresh = b.plan(request);
+            assert_eq!(out.transactions, fresh.transactions);
+            assert_eq!(out.requested, fresh.requested);
+        }
     }
 
     #[test]
     fn merge_by_server_preserves_order_and_items() {
-        let ts = vec![
+        let mut ts = vec![
             Transaction {
                 server: 2,
                 items: vec![1],
@@ -385,11 +528,11 @@ mod tests {
                 items: vec![3],
             },
         ];
-        let merged = merge_by_server(ts);
-        assert_eq!(merged.len(), 2);
-        assert_eq!(merged[0].server, 2);
-        assert_eq!(merged[0].items, vec![1, 3]);
-        assert_eq!(merged[1].server, 5);
+        merge_by_server(&mut ts);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].server, 2);
+        assert_eq!(ts[0].items, vec![1, 3]);
+        assert_eq!(ts[1].server, 5);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod plan;
 pub mod write;
 
 pub use baseline::FullSystemReplication;
-pub use bundler::Bundler;
+pub use bundler::{Bundler, PlanScratch};
 pub use config::{PlacementKind, RnbConfig};
 pub use placement::PlacementStrategy;
 pub use plan::{FetchPlan, Transaction};

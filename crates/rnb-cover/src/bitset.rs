@@ -129,6 +129,15 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// The backing `u64` words, lowest bits first. Bits at or above
+    /// [`BitSet::len`] are guaranteed clear (every mutator tail-masks), so
+    /// word-wise consumers such as the planner's fused greedy loop can
+    /// AND/popcount these directly without re-masking.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Index of the lowest set bit, if any.
     pub fn first_set(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {

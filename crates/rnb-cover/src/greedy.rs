@@ -6,24 +6,35 @@
 //! placements it is near-optimal in the mean, which
 //! `tests::greedy_close_to_exact_on_random_instances` reproduces.
 //!
-//! Two implementations with identical outputs:
+//! Three implementations with identical outputs:
 //!
-//! * [`greedy_cover`] — straightforward re-scan each round (the paper's
-//!   bit-set heuristic): each round computes `|set ∩ uncovered|` with
-//!   word-wise AND + popcount.
+//! * [`greedy_cover`] — the canonical entry point, now a thin wrapper over
+//!   a one-shot [`crate::Planner`] (the reusable, allocation-amortised
+//!   solver); per-call it still allocates only its output.
+//! * [`greedy_cover_reference`] — the seed's straightforward re-scan
+//!   (each round computes `|set ∩ uncovered|` with word-wise AND +
+//!   popcount), retained verbatim as an independent oracle for the
+//!   planner's equivalence proptests and as the bench baseline.
 //! * [`lazy_greedy_cover`] — lazy evaluation with a max-heap of stale
-//!   gains, exploiting submodularity (a set's gain never increases), which
-//!   skips most re-scans for large instances.
+//!   gains, exploiting submodularity (a set's gain never increases).
+//!   Deliberately **not** a planner wrapper: it is the second independent
+//!   oracle, so the `lazy == plain` tests stay meaningful.
 //!
-//! Ties are broken toward the lowest set index in both, so the two return
-//! identical (not merely equally sized) solutions.
+//! Ties are broken toward the lowest set index in all three, so they
+//! return identical (not merely equally sized) solutions.
 
 use crate::bitset::BitSet;
 use crate::instance::{CoverInstance, CoverSolution, CoverTarget, Pick};
+use crate::planner::Planner;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Greedy cover by full re-scan each round.
+/// Greedy cover via a one-shot [`Planner`].
+///
+/// Callers planning many covers should hold a [`Planner`] and call
+/// [`Planner::plan`] (or the `solve_*` views) directly so scratch memory
+/// is reused; this free function exists for one-shot use and keeps the
+/// seed API stable.
 ///
 /// ```
 /// use rnb_cover::{greedy_cover, CoverInstance, CoverTarget};
@@ -35,6 +46,16 @@ use std::collections::BinaryHeap;
 /// assert_eq!(solution.covered, 3);
 /// ```
 pub fn greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolution {
+    Planner::new().plan(inst, target)
+}
+
+/// Greedy cover by full re-scan each round — the seed implementation,
+/// kept as an independent reference.
+///
+/// [`greedy_cover`] (and therefore [`Planner::plan`]) is pinned
+/// byte-identical to this function by the planner's proptests; the
+/// `planner` bench measures the speedup against it.
+pub fn greedy_cover_reference(inst: &CoverInstance, target: CoverTarget) -> CoverSolution {
     let need = target.resolve(inst);
     let budget = target.pick_budget();
     let mut uncovered = BitSet::new(inst.universe());
@@ -298,8 +319,11 @@ mod tests {
             for target in [CoverTarget::Full, CoverTarget::AtLeast(3)] {
                 let a = greedy_cover(inst, target);
                 let b = lazy_greedy_cover(inst, target);
+                let r = greedy_cover_reference(inst, target);
                 assert_eq!(a.picks, b.picks);
                 assert_eq!(a.covered, b.covered);
+                assert_eq!(a.picks, r.picks);
+                assert_eq!(a.covered, r.covered);
             }
         }
     }
@@ -318,7 +342,9 @@ mod tests {
                 let need = target.resolve(&inst);
                 let a = greedy_cover(&inst, target);
                 let b = lazy_greedy_cover(&inst, target);
+                let r = greedy_cover_reference(&inst, target);
                 prop_assert_eq!(&a.picks, &b.picks);
+                prop_assert_eq!(&a.picks, &r.picks);
                 prop_assert!(a.validate(&inst).is_ok());
                 prop_assert!(a.covered >= need);
             }

@@ -9,7 +9,11 @@ use crate::bitset::BitSet;
 pub struct CoverInstance {
     universe: usize,
     sets: Vec<BitSet>,
-    /// Caller-meaningful label per set (in RnB the server id).
+    /// Caller-meaningful label per set (in RnB the server id). Ordered by
+    /// construction: set positions from [`CoverInstance::from_sets`], or
+    /// first-appearance order from
+    /// [`CoverInstance::from_item_candidates`] (see its label-order
+    /// guarantee).
     labels: Vec<u32>,
 }
 
@@ -39,28 +43,35 @@ impl CoverInstance {
     /// list of labels (servers) that can supply item `i`. This is the
     /// natural RnB direction: each requested item knows its replica
     /// servers. Only labels that hold at least one item get a set.
+    ///
+    /// **Label-order guarantee:** sets are created in first-appearance
+    /// order — items scanned ascending, candidates within an item in list
+    /// order — so `label(idx)` enumerates labels in the order they first
+    /// occur in `item_candidates`. The bundler's deterministic transaction
+    /// order, the planner's candidate entry points, and this module's
+    /// tests all rely on it.
+    ///
+    /// Interning uses the planner's epoch-stamped flat array (labels are
+    /// expected to be small, dense server ids), not a `HashMap`.
     pub fn from_item_candidates(item_candidates: &[Vec<u32>]) -> Self {
         let universe = item_candidates.len();
-        let mut order: Vec<u32> = Vec::new();
-        let mut index_of = std::collections::HashMap::new();
-        for cands in item_candidates {
-            for &label in cands {
-                index_of.entry(label).or_insert_with(|| {
-                    order.push(label);
-                    order.len() - 1
-                });
-            }
-        }
-        let mut sets = vec![BitSet::new(universe); order.len()];
+        let mut interner = crate::planner::LabelInterner::default();
+        interner.begin();
+        let mut labels: Vec<u32> = Vec::new();
+        let mut sets: Vec<BitSet> = Vec::new();
         for (item, cands) in item_candidates.iter().enumerate() {
             for &label in cands {
-                sets[index_of[&label]].set(item);
+                let slot = interner.intern(label, &mut labels);
+                if slot == sets.len() {
+                    sets.push(BitSet::new(universe));
+                }
+                sets[slot].set(item);
             }
         }
         CoverInstance {
             universe,
             sets,
-            labels: order,
+            labels,
         }
     }
 

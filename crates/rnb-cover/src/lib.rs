@@ -11,6 +11,9 @@
 //!   replica lists.
 //! * [`greedy`] — the paper's greedy heuristic (largest uncovered gain
 //!   first), in plain and lazy-evaluation variants.
+//! * [`planner`] — the reusable [`Planner`]: pooled scratch, epoch-stamped
+//!   interning, and a fused greedy inner loop, for zero-allocation
+//!   steady-state planning on the per-request hot path.
 //! * [`exact`] — a branch-and-bound exact solver for small instances, used
 //!   to measure the greedy approximation quality.
 //! * Partial ("LIMIT") covering — stop once at least `limit` items are
@@ -20,11 +23,13 @@ pub mod bitset;
 pub mod exact;
 pub mod greedy;
 pub mod instance;
+pub mod planner;
 
 pub use bitset::BitSet;
 pub use exact::solve_exact;
-pub use greedy::{greedy_cover, lazy_greedy_cover};
+pub use greedy::{greedy_cover, greedy_cover_reference, lazy_greedy_cover};
 pub use instance::{CoverInstance, CoverSolution, CoverTarget, Pick};
+pub use planner::{CoverScratch, PlannedCover, PlannedPick, Planner};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,78 @@
+//! Proof of the planner's zero-steady-state-allocation guarantee.
+//!
+//! A counting global allocator (vendored `alloc-counter` stand-in) wraps
+//! the system allocator with thread-local counters. The first plan of a
+//! given shape warms the [`rnb_cover::Planner`]'s pools; every later plan
+//! must perform **zero** allocator calls — no allocs, no reallocs, no
+//! deallocs — across all `CoverTarget` variants and both candidate entry
+//! points.
+//!
+//! Kept to a single `#[test]` so no sibling test thread muddies the
+//! warm-up ordering.
+
+use alloc_counter::{count_alloc, AllocCounterSystem};
+use rnb_cover::{CoverTarget, Planner};
+
+#[global_allocator]
+static ALLOC: AllocCounterSystem = AllocCounterSystem;
+
+/// Deterministic RnB-shaped request: `m` items, `k` candidate servers
+/// each, drawn from `n` servers. Flat layout so replanning reads borrowed
+/// slices and the measurement sees only the planner's own behaviour.
+fn flat_candidates(m: usize, k: usize, n: u32, salt: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32];
+    let mut flat = Vec::new();
+    for item in 0..m as u32 {
+        for r in 0..k as u32 {
+            // Cheap mix, enough spread to vary set shapes per item.
+            flat.push((item.wrapping_mul(2654435761).wrapping_add(salt) + r * 7919) % n);
+        }
+        offsets.push(flat.len() as u32);
+    }
+    (offsets, flat)
+}
+
+#[test]
+fn steady_state_planning_does_not_allocate() {
+    let mut planner = Planner::new();
+    let (offsets, flat) = flat_candidates(200, 2, 100, 17);
+    let targets = [
+        CoverTarget::Full,
+        CoverTarget::AtLeast(150),
+        CoverTarget::MaxPicks(8),
+    ];
+
+    // Warm-up: first requests grow every pool to this shape.
+    for &t in &targets {
+        let view = planner.solve_flat_candidates(&offsets, &flat, t);
+        assert!(view.covered() > 0);
+    }
+
+    // Steady state: identical-shape requests must not touch the allocator.
+    for (round, &t) in targets.iter().cycle().take(30).enumerate() {
+        let ((allocs, reallocs, deallocs), covered) = count_alloc(|| {
+            planner
+                .solve_flat_candidates(&offsets, &flat, t)
+                .picks()
+                .map(|p| p.items.len())
+                .sum::<usize>()
+        });
+        assert!(covered > 0);
+        assert_eq!(
+            (allocs, reallocs, deallocs),
+            (0, 0, 0),
+            "round {round} target {t:?} touched the allocator"
+        );
+    }
+
+    // A *smaller* request after warm-up also stays allocation-free: pools
+    // only ever shrink logically, never physically.
+    let (small_off, small_flat) = flat_candidates(40, 2, 100, 3);
+    planner.solve_flat_candidates(&small_off, &small_flat, CoverTarget::Full);
+    let ((a, r, d), _) = count_alloc(|| {
+        planner
+            .solve_flat_candidates(&small_off, &small_flat, CoverTarget::Full)
+            .covered()
+    });
+    assert_eq!((a, r, d), (0, 0, 0), "shrunken request allocated");
+}

@@ -4,7 +4,7 @@
 use crate::config::{DistinguishedMode, HitchhikerLru, MemoryModel, SimConfig, WritebackPolicy};
 use crate::metrics::Metrics;
 use crate::server::SimServer;
-use rnb_core::{Bundler, PlacementStrategy, WritePolicy};
+use rnb_core::{Bundler, FetchPlan, PlacementStrategy, PlanScratch, WritePolicy};
 use rnb_hash::{ItemId, Placement, ServerId};
 use std::collections::HashMap;
 
@@ -43,6 +43,13 @@ impl RequestOutcome {
 pub struct SimCluster {
     servers: Vec<SimServer>,
     bundler: Bundler<PlacementStrategy>,
+    /// Pooled planner state, reused for every request this cluster
+    /// executes (warm-up and measurement alike): after the first request
+    /// of a given shape, planning is allocation-free.
+    scratch: PlanScratch,
+    /// Pooled plan output paired with `scratch` (taken/restored around
+    /// each request so its transaction buffers are recycled too).
+    plan_buf: FetchPlan,
     config: SimConfig,
     universe: usize,
     metrics: Metrics,
@@ -98,6 +105,8 @@ impl SimCluster {
         SimCluster {
             servers,
             bundler,
+            scratch: PlanScratch::new(),
+            plan_buf: FetchPlan::default(),
             config,
             universe,
             metrics: Metrics::default(),
@@ -160,10 +169,18 @@ impl SimCluster {
         request: &[ItemId],
         min_items: Option<usize>,
     ) -> RequestOutcome {
-        let plan = match min_items {
-            None => self.bundler.plan(request),
-            Some(k) => self.bundler.plan_limit(request, k),
-        };
+        // Pooled planning: take the recycled plan buffer, fill it through
+        // the cluster's PlanScratch (zero steady-state allocations), and
+        // restore it before returning so the next request reuses it.
+        let mut plan = std::mem::take(&mut self.plan_buf);
+        match min_items {
+            None => self
+                .bundler
+                .plan_into(&mut self.scratch, request, &mut plan),
+            Some(k) => self
+                .bundler
+                .plan_limit_into(&mut self.scratch, request, k, &mut plan),
+        }
         let placement = self.bundler.placement();
 
         // Transaction index by server, for hitchhiker routing.
@@ -303,6 +320,7 @@ impl SimCluster {
         self.metrics.requests += 1;
         self.metrics.round1_txns += outcome.round1_txns as u64;
         self.metrics.round2_txns += outcome.round2_txns as u64;
+        self.plan_buf = plan;
         outcome
     }
 

@@ -65,13 +65,17 @@ pub fn run_experiment(
     let raw = std::iter::from_fn(|| Some(stream.next_request()));
     let mut merged = MergingStream::new(raw, config.merge_window);
 
+    // One merge buffer for the whole run: the merged-request path reuses
+    // it (and the cluster's pooled PlanScratch) across warm-up and
+    // measurement, so per-group work is allocation-free on the plan side.
+    let mut request = Vec::new();
     for _ in 0..config.warmup_requests {
-        let request = merged.next().expect("infinite stream");
+        assert!(merged.next_into(&mut request), "infinite stream");
         execute_one(&mut cluster, &request, config.limit);
     }
     cluster.reset_metrics();
     for _ in 0..config.measure_requests {
-        let request = merged.next().expect("infinite stream");
+        assert!(merged.next_into(&mut request), "infinite stream");
         execute_one(&mut cluster, &request, config.limit);
     }
     cluster.metrics().clone()

@@ -51,7 +51,10 @@ fn main() {
     );
     println!("press Ctrl-C to stop");
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        // Nothing to do on the main thread until Ctrl-C kills the
+        // process; park (looping over spurious unparks) instead of a
+        // periodic sleep so the thread truly blocks.
+        std::thread::park();
     }
 }
 

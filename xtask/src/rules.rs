@@ -6,6 +6,7 @@
 //! | R2 `deterministic-simulation` | whole workspace | no unseeded randomness anywhere; no wall-clock reads outside the allowlisted measurement/TTL files |
 //! | R3 `lossless-wire-casts` | `rnb-store/src/protocol.rs` | no `as` integer casts in wire-format code: use `try_from` |
 //! | R4 `invariant-inventory` | whole workspace | every non-test `debug_assert*` carries a message registered in INVARIANTS.md; every `::MAX` sentinel is registered; no stale entries |
+//! | R5 `no-thread-sleep` | whole workspace | no `thread::sleep` in non-test code outside the justified allowlist: sleeping hides latency bugs and stalls serving threads |
 //!
 //! All rules match against [`SourceFile::scrubbed`] text, so comments and
 //! string literals can never trip them.
@@ -67,6 +68,20 @@ pub const TIME_ALLOWLIST: &[(&str, &str)] = &[
         "TTL expiry is defined against wall-clock time by the memcached contract",
     ),
 ];
+
+/// Files allowed to call `thread::sleep` in non-test code, with the
+/// reason on record. Same hygiene as [`TIME_ALLOWLIST`]: a stale entry is
+/// itself a violation. Everything else must block on real events
+/// (I/O readiness, channels, `thread::park`) instead of sleeping —
+/// sleeps in serving or simulation code hide latency bugs and turn into
+/// arbitrary stalls under load.
+pub const SLEEP_ALLOWLIST: &[(&str, &str)] = &[(
+    "crates/rnb-bench/src/bin/ext_udp.rs",
+    "UDP is fire-and-forget: the external-traffic probe has no completion \
+     event to block on, so it paces batches with a fixed settle delay",
+)];
+
+const SLEEP_PATTERN: &str = "thread::sleep";
 
 const PANIC_PATTERNS: &[&str] = &[
     ".unwrap()",
@@ -210,6 +225,52 @@ pub fn check_stale_allowlist(files: &[SourceFile]) -> Vec<Violation> {
             message: format!(
                 "stale time allowlist entry `{prefix}`: no wall-clock use remains; \
                  remove it from xtask/src/rules.rs"
+            ),
+        })
+        .collect()
+}
+
+/// R5: no `thread::sleep` in non-test code outside the allowlist.
+pub fn check_no_sleep(file: &SourceFile) -> Vec<Violation> {
+    if SLEEP_ALLOWLIST
+        .iter()
+        .any(|(prefix, _)| file.rel_path.starts_with(prefix))
+    {
+        return Vec::new();
+    }
+    non_test_occurrences(file, SLEEP_PATTERN)
+        .map(|offset| Violation {
+            rule: "R5/no-thread-sleep",
+            file: file.rel_path.clone(),
+            line: file.line_of(offset),
+            message: format!(
+                "`{SLEEP_PATTERN}` in non-test code; block on a real event \
+                 (I/O readiness, a channel, `thread::park`) instead, or add \
+                 an allowlist entry with a written reason in \
+                 xtask/src/rules.rs (`{}`)",
+                file.excerpt(offset)
+            ),
+        })
+        .collect()
+}
+
+/// R5 (hygiene): sleep allowlist entries must still be needed.
+pub fn check_stale_sleep_allowlist(files: &[SourceFile]) -> Vec<Violation> {
+    SLEEP_ALLOWLIST
+        .iter()
+        .filter(|(prefix, _)| {
+            !files.iter().any(|file| {
+                file.rel_path.starts_with(prefix)
+                    && non_test_occurrences(file, SLEEP_PATTERN).next().is_some()
+            })
+        })
+        .map(|(prefix, _)| Violation {
+            rule: "R5/no-thread-sleep",
+            file: prefix.to_string(),
+            line: 0,
+            message: format!(
+                "stale sleep allowlist entry `{prefix}`: no `thread::sleep` \
+                 remains; remove it from xtask/src/rules.rs"
             ),
         })
         .collect()
@@ -532,6 +593,62 @@ mod tests {
         let v = check_stale_allowlist(&files);
         assert_eq!(v.len(), TIME_ALLOWLIST.len() - 1);
         assert!(v.iter().all(|v| !v.file.contains("loadgen")));
+    }
+
+    // -------- R5 --------
+
+    #[test]
+    fn r5_detects_sleep_in_non_test_code() {
+        let f = SourceFile::new(
+            "crates/rnb-store/src/bin/rnb-stored.rs",
+            "fn f() { std::thread::sleep(std::time::Duration::from_secs(1)); }",
+        );
+        let v = check_no_sleep(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R5/no-thread-sleep");
+        // Bare `thread::sleep` (pre-imported) is the same pattern.
+        let bare = SourceFile::new(
+            "crates/rnb-sim/src/cluster.rs",
+            "fn f() { thread::sleep(d); }",
+        );
+        assert_eq!(check_no_sleep(&bare).len(), 1);
+    }
+
+    #[test]
+    fn r5_ignores_tests_comments_and_allowlisted_files() {
+        let test_code = SourceFile::new(
+            "crates/rnb-store/src/shard.rs",
+            "#[cfg(test)]\nmod tests { fn t() { std::thread::sleep(d); } }",
+        );
+        assert_eq!(check_no_sleep(&test_code), Vec::new());
+        let comment = SourceFile::new(
+            "crates/rnb-sim/src/cluster.rs",
+            "// never call thread::sleep here\nfn f() {}",
+        );
+        assert_eq!(check_no_sleep(&comment), Vec::new());
+        let allowlisted = SourceFile::new(
+            "crates/rnb-bench/src/bin/ext_udp.rs",
+            "fn f() { std::thread::sleep(d); }",
+        );
+        assert_eq!(check_no_sleep(&allowlisted), Vec::new());
+    }
+
+    #[test]
+    fn r5_stale_sleep_allowlist_entries_are_flagged() {
+        // No file sleeps → every allowlist entry is stale.
+        let files = vec![SourceFile::new(
+            "crates/rnb-bench/src/bin/ext_udp.rs",
+            "fn quiet() {}",
+        )];
+        let v = check_stale_sleep_allowlist(&files);
+        assert_eq!(v.len(), SLEEP_ALLOWLIST.len());
+        assert!(v[0].message.contains("stale"));
+        // A real sleep marks the entry live.
+        let files = vec![SourceFile::new(
+            "crates/rnb-bench/src/bin/ext_udp.rs",
+            "fn f() { std::thread::sleep(d); }",
+        )];
+        assert_eq!(check_stale_sleep_allowlist(&files), Vec::new());
     }
 
     // -------- R3 --------
