@@ -11,6 +11,10 @@
 //! The paper calibrates its simulator with memaslap against a real
 //! memcached over 1 GbE. We reproduce the substrate from scratch:
 //!
+//! * [`clock`] — the injected time source: TTL expiry is a pure function
+//!   of [`Clock`] ticks, so expiry behaviour runs deterministically under
+//!   a manually-advanced [`TestClock`] (the only sanctioned wall-clock
+//!   read in this crate lives in `clock.rs`; xtask lint R2 enforces it).
 //! * [`shard::Shard`] — a byte-budgeted LRU hash table with **pinning**
 //!   (the mechanism behind RnB distinguished copies) — memcached's
 //!   `-m`-bounded slab+LRU behaviour at item granularity.
@@ -28,6 +32,7 @@
 //!   items/sec per transaction size — the Fig 13/14 measurement.
 
 pub mod client;
+pub mod clock;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
@@ -37,7 +42,8 @@ pub mod store;
 pub mod udp;
 
 pub use client::StoreClient;
-pub use loadgen::{run_load, LoadReport, LoadSpec};
+pub use clock::{Clock, RealClock, TestClock, Tick};
+pub use loadgen::{run_load, run_load_with_clock, LoadReport, LoadSpec};
 pub use server::StoreServer;
 pub use store::Store;
 pub use udp::{UdpStoreClient, UdpStoreServer};

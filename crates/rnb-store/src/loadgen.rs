@@ -6,8 +6,9 @@
 //! get transactions", TCP with per-connection clients.
 
 use crate::client::StoreClient;
+use crate::clock::{duration_to_ticks, Clock};
 use std::net::SocketAddr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Load-run parameters.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +86,17 @@ pub fn populate(addr: SocketAddr, keyspace: usize, value_len: usize) -> std::io:
 /// Run the load against `addr` per `spec`; the store must already be
 /// populated (see [`populate`]). Returns the aggregated report.
 pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport> {
+    run_load_with_clock(addr, spec, Clock::real())
+}
+
+/// [`run_load`] against an injected clock: `spec.duration` elapses on the
+/// clock's timeline, so a test can drive a whole measurement run from a
+/// [`TestClock`](crate::TestClock) without waiting in real time.
+pub fn run_load_with_clock(
+    addr: SocketAddr,
+    spec: &LoadSpec,
+    clock: Clock,
+) -> std::io::Result<LoadReport> {
     assert!(spec.clients >= 1, "need at least one client");
     assert!(spec.txn_size >= 1, "transactions carry at least one item");
     assert!(
@@ -92,10 +104,12 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport
         "keyspace smaller than one transaction"
     );
 
-    let start = Instant::now();
+    let start = clock.now();
+    let deadline = start.saturating_add(duration_to_ticks(spec.duration));
     let mut handles = Vec::with_capacity(spec.clients);
     for c in 0..spec.clients {
         let spec = *spec;
+        let clock = clock.clone();
         handles.push(std::thread::spawn(
             move || -> std::io::Result<(u64, u64, u64)> {
                 let mut client = StoreClient::connect(addr)?;
@@ -111,9 +125,8 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport
                 };
                 let (mut txns, mut items, mut sets) = (0u64, 0u64, 0u64);
                 let mut items_since_set = 0usize;
-                let deadline = Instant::now() + spec.duration;
                 let mut keys: Vec<Vec<u8>> = Vec::with_capacity(spec.txn_size);
-                while Instant::now() < deadline {
+                while clock.now() < deadline {
                     keys.clear();
                     let base = next() as usize % spec.keyspace;
                     for j in 0..spec.txn_size {
@@ -149,7 +162,7 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport
         report.items += items;
         report.sets += sets;
     }
-    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report.elapsed_secs = (clock.now().saturating_sub(start)) as f64 / 1e9;
     Ok(report)
 }
 
@@ -205,6 +218,43 @@ mod tests {
             big > 2.0 * small,
             "8-item transactions should fetch far more items/s: {big} vs {small}"
         );
+    }
+
+    #[test]
+    fn load_run_on_virtual_time_terminates_without_waiting() {
+        use crate::clock::TestClock;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // A "one hour" measurement window completes in a blink: the
+        // driver thread spin-advances the shared virtual clock while the
+        // load runs, so no thread ever really sleeps or waits an hour.
+        let server = StoreServer::start(Arc::new(Store::new(1 << 24))).unwrap();
+        populate(server.addr(), 100, 10).unwrap();
+        let clock = TestClock::new();
+        let done = Arc::new(AtomicBool::new(false));
+        let driver = {
+            let clock = clock.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    clock.advance(Duration::from_secs(1));
+                }
+            })
+        };
+        let spec = LoadSpec {
+            clients: 2,
+            txn_size: 5,
+            keyspace: 100,
+            value_len: 10,
+            set_every_items: 0,
+            duration: Duration::from_secs(3600),
+        };
+        let report = run_load_with_clock(server.addr(), &spec, clock.clone().into()).unwrap();
+        done.store(true, Ordering::SeqCst);
+        driver.join().unwrap();
+        assert!(report.elapsed_secs >= 3600.0, "{}", report.elapsed_secs);
+        // The clients connected and did real work before the window closed.
+        assert_eq!(report.items, report.get_txns * 5);
     }
 
     #[test]

@@ -46,9 +46,11 @@ pub enum Command {
         key: Vec<u8>,
         /// Opaque client flags.
         flags: u32,
-        /// Expiry in seconds (0 = never; memcached's absolute-time form
-        /// for values > 30 days is not needed by the experiments).
-        exptime: u32,
+        /// Expiry in seconds. Signed, per memcached: 0 = never, negative
+        /// = already expired (stored, then immediately invisible);
+        /// memcached's absolute-time form for values > 30 days is not
+        /// needed by the experiments.
+        exptime: i64,
         /// Data block length that follows.
         bytes: usize,
         /// Suppress the reply line.
@@ -60,8 +62,8 @@ pub enum Command {
         key: Vec<u8>,
         /// Opaque client flags.
         flags: u32,
-        /// Expiry in seconds (0 = never).
-        exptime: u32,
+        /// Expiry in seconds (0 = never, negative = already expired).
+        exptime: i64,
         /// Data block length that follows.
         bytes: usize,
         /// The token from a previous `gets`.
@@ -125,7 +127,9 @@ pub fn parse_command(line: &[u8]) -> Result<Command, String> {
                 .ok_or("missing flags")?
                 .parse()
                 .map_err(|_| "bad flags")?;
-            let exptime: u32 = parts
+            // Signed: memcached treats a negative exptime as "expire
+            // immediately", and clients do send -1.
+            let exptime: i64 = parts
                 .next()
                 .ok_or("missing exptime")?
                 .parse()
@@ -346,6 +350,38 @@ mod tests {
         );
         let cmd = parse_command(b"set mykey 0 0 3 noreply").unwrap();
         assert!(matches!(cmd, Command::Set { noreply: true, .. }));
+    }
+
+    #[test]
+    fn parse_negative_exptime() {
+        // Regression: exptime was parsed as u32, so memcached's signed
+        // "-1 = already expired" form answered CLIENT_ERROR bad exptime.
+        let cmd = parse_command(b"set mykey 7 -1 10").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Set {
+                verb: StoreVerb::Set,
+                key: b"mykey".to_vec(),
+                flags: 7,
+                exptime: -1,
+                bytes: 10,
+                noreply: false
+            }
+        );
+        assert!(matches!(
+            parse_command(b"cas k 1 -30 5 42").unwrap(),
+            Command::Cas { exptime: -30, .. }
+        ));
+        assert!(matches!(
+            parse_command(b"add k 0 -1 5").unwrap(),
+            Command::Set {
+                verb: StoreVerb::Add,
+                exptime: -1,
+                ..
+            }
+        ));
+        assert!(parse_command(b"set k 0 - 5").is_err(), "bare dash");
+        assert!(parse_command(b"set k 0 -x 5").is_err());
     }
 
     #[test]

@@ -103,9 +103,14 @@ impl Drop for StoreServer {
 }
 
 /// memcached `exptime` semantics for the range the experiments use:
-/// 0 = never expires, otherwise relative seconds.
-fn ttl_of(exptime: u32) -> Option<Duration> {
-    (exptime > 0).then(|| Duration::from_secs(exptime as u64))
+/// 0 = never expires, negative = already expired (the entry is stored,
+/// then immediately invisible), otherwise relative seconds.
+fn ttl_of(exptime: i64) -> Option<Duration> {
+    match exptime {
+        0 => None,
+        t if t < 0 => Some(Duration::ZERO),
+        t => Some(Duration::from_secs(t.unsigned_abs())),
+    }
 }
 
 fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
@@ -217,6 +222,7 @@ fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
 mod tests {
     use super::*;
     use crate::client::StoreClient;
+    use crate::clock::TestClock;
 
     fn start() -> (StoreServer, StoreClient) {
         let server = StoreServer::start(Arc::new(Store::new(1 << 22))).unwrap();
@@ -323,15 +329,48 @@ mod tests {
     }
 
     #[test]
+    fn ttl_of_signed_semantics() {
+        assert_eq!(ttl_of(0), None, "0 = never expires");
+        assert_eq!(ttl_of(-1), Some(Duration::ZERO), "-1 = already expired");
+        assert_eq!(ttl_of(i64::MIN), Some(Duration::ZERO));
+        assert_eq!(ttl_of(5), Some(Duration::from_secs(5)));
+        assert_eq!(
+            ttl_of(i64::MAX),
+            Some(Duration::from_secs(i64::MAX.unsigned_abs()))
+        );
+    }
+
+    #[test]
     fn exptime_over_tcp() {
-        let (_server, mut client) = start();
+        // The server's connection threads read the same TestClock the
+        // test holds, so TTL expiry over TCP needs no real waiting.
+        let clock = TestClock::new();
+        let store = Arc::new(Store::with_clock(1 << 22, 16, clock.clone().into()));
+        let server = StoreServer::start(store).unwrap();
+        let mut client = StoreClient::connect(server.addr()).unwrap();
         // exptime = 1 second; raw command keeps the test at protocol level.
         client.raw_command("set transient 0 1 2\r\nhi\r\n").unwrap();
         assert!(client.get_multi(&[b"transient"]).unwrap()[0].is_some());
-        std::thread::sleep(std::time::Duration::from_millis(1200));
+        clock.advance(Duration::from_secs(2));
         assert!(
             client.get_multi(&[b"transient"]).unwrap()[0].is_none(),
             "entry outlived TTL"
+        );
+        drop(server);
+    }
+
+    #[test]
+    fn negative_exptime_over_tcp() {
+        // Regression: `set ... -1 ...` used to answer CLIENT_ERROR bad
+        // exptime; memcached stores it and expires it immediately.
+        let (_server, mut client) = start();
+        let resp = client
+            .raw_command("set transient 0 -1 2\r\nhi\r\n")
+            .unwrap();
+        assert!(resp.starts_with("STORED"), "{resp}");
+        assert!(
+            client.get_multi(&[b"transient"]).unwrap()[0].is_none(),
+            "negative exptime must be immediately invisible"
         );
     }
 

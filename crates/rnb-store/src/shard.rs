@@ -1,10 +1,17 @@
 //! One store shard: a byte-budgeted LRU hash table with pinning, CAS,
 //! arithmetic operations and TTL expiry — the memcached feature surface
 //! the paper's §IV atomic-operation schemes build on.
+//!
+//! All time comes from an injected [`Clock`]: expiry is a pure function
+//! of the clock's ticks (see INVARIANTS.md "Clock invariant"), so TTL
+//! behaviour is fully deterministic under a
+//! [`TestClock`](crate::clock::TestClock) and the xtask R2 lint keeps
+//! this file wall-clock-free.
 
+use crate::clock::{duration_to_ticks, Clock, Tick};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const NIL: usize = usize::MAX;
 
@@ -18,7 +25,9 @@ pub const ENTRY_OVERHEAD: usize = 64;
 pub enum SetOutcome {
     /// Stored; `evicted` entries were dropped to make room.
     Stored {
-        /// Number of LRU entries evicted by this set.
+        /// Number of live LRU entries evicted by this set (expired
+        /// entries reclaimed on the way are not counted — they were
+        /// already dead).
         evicted: usize,
     },
     /// The entry cannot fit even after evicting every unpinned entry.
@@ -67,14 +76,14 @@ struct Node {
     value: Arc<[u8]>,
     flags: u32,
     cas: u64,
-    expires_at: Option<Instant>,
+    expires_at: Option<Tick>,
     pinned: bool,
     prev: usize,
     next: usize,
 }
 
 impl Node {
-    fn expired(&self, now: Instant) -> bool {
+    fn expired(&self, now: Tick) -> bool {
         self.expires_at.is_some_and(|t| t <= now)
     }
 }
@@ -96,6 +105,8 @@ pub struct Shard {
     mem_limit: usize,
     /// Monotonic CAS-token source.
     cas_counter: u64,
+    /// Injected time source; every expiry decision reads this.
+    clock: Clock,
 }
 
 fn entry_cost(key: &[u8], value: &[u8]) -> usize {
@@ -103,8 +114,15 @@ fn entry_cost(key: &[u8], value: &[u8]) -> usize {
 }
 
 impl Shard {
-    /// A shard with a byte budget.
+    /// A shard with a byte budget, expiring against real time.
     pub fn new(mem_limit: usize) -> Self {
+        Self::with_clock(mem_limit, Clock::real())
+    }
+
+    /// A shard whose TTL expiry reads `clock` — pass a
+    /// [`TestClock`](crate::clock::TestClock)-backed clock to drive
+    /// expiry deterministically.
+    pub fn with_clock(mem_limit: usize, clock: Clock) -> Self {
         Shard {
             map: HashMap::new(),
             nodes: Vec::new(),
@@ -115,10 +133,13 @@ impl Shard {
             unpinned_bytes: 0,
             mem_limit,
             cas_counter: 0,
+            clock,
         }
     }
 
-    /// Entries resident.
+    /// Entries resident (expired entries linger until a lookup, a
+    /// [`sweep_expired`](Shard::sweep_expired) or memory pressure
+    /// reclaims them).
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -141,8 +162,9 @@ impl Shard {
     /// Look up `key`, promoting unpinned hits to most-recently-used.
     /// Expired entries are removed lazily and report as misses.
     pub fn get(&mut self, key: &[u8]) -> Option<Value> {
+        let now = self.clock.now();
         let &idx = self.map.get(key)?;
-        if self.nodes[idx].expired(Instant::now()) {
+        if self.nodes[idx].expired(now) {
             self.delete(key);
             return None;
         }
@@ -160,9 +182,10 @@ impl Shard {
     /// Presence probe without LRU promotion (expired entries report
     /// absent but are left for lazy removal).
     pub fn contains(&self, key: &[u8]) -> bool {
+        let now = self.clock.now();
         self.map
             .get(key)
-            .is_some_and(|&idx| !self.nodes[idx].expired(Instant::now()))
+            .is_some_and(|&idx| !self.nodes[idx].expired(now))
     }
 
     /// Store `key` → `value`, evicting LRU entries as needed.
@@ -170,7 +193,9 @@ impl Shard {
         self.set_full(key, value, flags, pinned, None)
     }
 
-    /// [`Shard::set`] with an optional TTL (memcached `exptime`).
+    /// [`Shard::set`] with an optional TTL (memcached `exptime`). A zero
+    /// TTL stores an already-expired entry (memcached's negative-exptime
+    /// semantics: stored, then immediately invisible).
     pub fn set_full(
         &mut self,
         key: &[u8],
@@ -179,22 +204,32 @@ impl Shard {
         pinned: bool,
         ttl: Option<Duration>,
     ) -> SetOutcome {
+        let now = self.clock.now();
         let new_cost = entry_cost(key, value);
-        let expires_at = ttl.map(|d| Instant::now() + d);
+        let expires_at = ttl.map(|d| now.saturating_add(duration_to_ticks(d)));
+
+        // An expired entry under this key is reclaimed up front, so the
+        // overwrite path below only ever sees live entries and the store
+        // behaves exactly as if the entry had already been swept.
+        if self
+            .map
+            .get(key)
+            .is_some_and(|&idx| self.nodes[idx].expired(now))
+        {
+            self.delete(key);
+        }
 
         if let Some(&idx) = self.map.get(key) {
             // Overwrite. Fit check: everything except this entry and other
-            // pinned entries is evictable.
-            let old_cost = entry_cost(&self.nodes[idx].key, &self.nodes[idx].value);
-            let other_unpinned =
-                self.unpinned_bytes - if self.nodes[idx].pinned { 0 } else { old_cost };
-            // Irreducible bytes after the overwrite: other pinned entries
-            // plus the new entry itself (evict_to_fit never evicts the
-            // entry just written).
-            let other_pinned = self.mem_used - old_cost - other_unpinned;
-            if other_pinned + new_cost > self.mem_limit {
-                return SetOutcome::OutOfMemory;
+            // pinned entries is evictable; expired entries are reclaimed
+            // before concluding the write cannot fit.
+            if self.overwrite_would_oom(idx, new_cost) {
+                self.sweep_expired_except(now, idx);
+                if self.overwrite_would_oom(idx, new_cost) {
+                    return SetOutcome::OutOfMemory;
+                }
             }
+            let old_cost = entry_cost(&self.nodes[idx].key, &self.nodes[idx].value);
             self.mem_used = self.mem_used - old_cost + new_cost;
             if !self.nodes[idx].pinned {
                 self.unpinned_bytes -= old_cost;
@@ -215,9 +250,13 @@ impl Shard {
         }
 
         // New entry. Irreducible bytes = pinned bytes (+ the new entry).
-        let pinned_bytes = self.mem_used - self.unpinned_bytes;
-        if pinned_bytes + new_cost > self.mem_limit {
-            return SetOutcome::OutOfMemory;
+        // Expired pinned entries are never evictable, so they are swept
+        // before an insert is refused for memory.
+        if self.mem_used - self.unpinned_bytes + new_cost > self.mem_limit {
+            self.sweep_expired_except(now, NIL);
+            if self.mem_used - self.unpinned_bytes + new_cost > self.mem_limit {
+                return SetOutcome::OutOfMemory;
+            }
         }
         self.cas_counter += 1;
         let idx = self.alloc(Node {
@@ -238,6 +277,16 @@ impl Shard {
         }
         let evicted = self.evict_to_fit(idx);
         SetOutcome::Stored { evicted }
+    }
+
+    /// Would overwriting `idx` with a `new_cost`-byte entry exceed the
+    /// budget even after evicting every other unpinned entry?
+    fn overwrite_would_oom(&self, idx: usize, new_cost: usize) -> bool {
+        let node = &self.nodes[idx];
+        let old_cost = entry_cost(&node.key, &node.value);
+        let other_unpinned = self.unpinned_bytes - if node.pinned { 0 } else { old_cost };
+        let other_pinned = self.mem_used - old_cost - other_unpinned;
+        other_pinned + new_cost > self.mem_limit
     }
 
     /// `add`: store only if `key` is absent (memcached semantics).
@@ -285,9 +334,10 @@ impl Shard {
         token: u64,
         ttl: Option<Duration>,
     ) -> CasOutcome {
+        let now = self.clock.now();
         match self.map.get(key) {
             None => CasOutcome::NotFound,
-            Some(&idx) if self.nodes[idx].expired(Instant::now()) => {
+            Some(&idx) if self.nodes[idx].expired(now) => {
                 self.delete(key);
                 CasOutcome::NotFound
             }
@@ -306,7 +356,8 @@ impl Shard {
 
     /// `incr`/`decr`: treat the value as an ASCII unsigned decimal and
     /// add `delta` (saturating at 0 for decrements, wrapping at `u64` for
-    /// increments — memcached semantics).
+    /// increments — memcached semantics). The remaining TTL is preserved
+    /// exactly in clock ticks.
     pub fn arith(&mut self, key: &[u8], delta: u64, negative: bool) -> ArithOutcome {
         let Some(current) = self.get(key) else {
             return ArithOutcome::NotFound;
@@ -323,6 +374,7 @@ impl Shard {
             n.wrapping_add(delta)
         };
         let rendered = next.to_string();
+        let now = self.clock.now();
         let pinned = self
             .map
             .get(key)
@@ -331,7 +383,7 @@ impl Shard {
         let ttl_left = self.map.get(key).and_then(|&idx| {
             self.nodes[idx]
                 .expires_at
-                .map(|t| t.saturating_duration_since(Instant::now()))
+                .map(|t| Duration::from_nanos(t.saturating_sub(now)))
         });
         match self.set_full(key, rendered.as_bytes(), current.flags, pinned, ttl_left) {
             SetOutcome::Stored { .. } => ArithOutcome::Value(next),
@@ -358,6 +410,32 @@ impl Shard {
         }
     }
 
+    /// Eagerly reclaim every expired entry — pinned ones included, which
+    /// lazy lookup-path removal never reaches on its own. Returns how
+    /// many entries were reclaimed; `len()` and `mem_used()` reflect the
+    /// sweep immediately.
+    pub fn sweep_expired(&mut self) -> usize {
+        let now = self.clock.now();
+        self.sweep_expired_except(now, NIL)
+    }
+
+    /// [`sweep_expired`](Shard::sweep_expired) skipping slot `protect`
+    /// (`NIL` protects nothing): the entry a `set` just wrote may itself
+    /// carry a zero TTL, and eviction must never drop the entry being
+    /// stored.
+    fn sweep_expired_except(&mut self, now: Tick, protect: usize) -> usize {
+        let expired: Vec<Box<[u8]>> = self
+            .map
+            .iter()
+            .filter(|&(_, &idx)| idx != protect && self.nodes[idx].expired(now))
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &expired {
+            self.delete(key);
+        }
+        expired.len()
+    }
+
     fn alloc(&mut self, node: Node) -> usize {
         match self.free.pop() {
             Some(i) => {
@@ -377,9 +455,19 @@ impl Shard {
         self.free.push(idx);
     }
 
-    /// Evict LRU entries (never `protect`) until within budget. Returns
-    /// how many were evicted.
+    /// Evict entries (never `protect`) until within budget: expired
+    /// entries anywhere in the shard are reclaimed first, then live LRU
+    /// entries from the tail. Returns how many **live** entries were
+    /// evicted.
     fn evict_to_fit(&mut self, protect: usize) -> usize {
+        if self.mem_used <= self.mem_limit {
+            return 0;
+        }
+        // Dead entries must never force live data out: reclaim them
+        // before touching the LRU tail (§V overbooking relies on LRUs
+        // dropping *cold* replicas, not fresh ones).
+        let now = self.clock.now();
+        self.sweep_expired_except(now, protect);
         let mut evicted = 0;
         while self.mem_used > self.mem_limit && self.tail != NIL {
             let victim = if self.tail == protect {
@@ -434,6 +522,7 @@ impl Shard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::TestClock;
     use proptest::prelude::*;
 
     fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
@@ -441,6 +530,12 @@ mod tests {
             format!("key{i}").into_bytes(),
             format!("value{i}").into_bytes(),
         )
+    }
+
+    /// A shard on a virtual timeline plus the handle that advances it.
+    fn shard_with_clock(mem_limit: usize) -> (Shard, TestClock) {
+        let clock = TestClock::new();
+        (Shard::with_clock(mem_limit, clock.clone().into()), clock)
     }
 
     #[test]
@@ -643,19 +738,17 @@ mod tests {
         assert_eq!(s.arith(b"txt", 1, false), ArithOutcome::NonNumeric);
     }
 
+    // ---- TTL behaviour, all on virtual time: no sleeps, no flakiness ----
+
     #[test]
     fn ttl_expiry_is_lazy_but_effective() {
-        let mut s = Shard::new(10_000);
-        s.set_full(
-            b"fleeting",
-            b"v",
-            0,
-            false,
-            Some(std::time::Duration::from_millis(15)),
-        );
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"fleeting", b"v", 0, false, Some(Duration::from_secs(15)));
         s.set(b"lasting", b"v", 0, false);
         assert!(s.contains(b"fleeting"));
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        clock.advance(Duration::from_secs(14));
+        assert!(s.contains(b"fleeting"), "one second of TTL still left");
+        clock.advance(Duration::from_secs(1));
         assert!(!s.contains(b"fleeting"), "expired entry still visible");
         assert!(s.get(b"fleeting").is_none());
         assert!(s.contains(b"lasting"));
@@ -664,33 +757,131 @@ mod tests {
     }
 
     #[test]
+    fn ttl_boundary_is_exact_on_virtual_time() {
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"k", b"v", 0, false, Some(Duration::from_nanos(100)));
+        clock.advance(Duration::from_nanos(99));
+        assert!(s.contains(b"k"), "one tick before the deadline");
+        clock.advance(Duration::from_nanos(1));
+        assert!(!s.contains(b"k"), "expiry is inclusive at the deadline");
+    }
+
+    #[test]
+    fn zero_ttl_stores_an_already_expired_entry() {
+        let (mut s, _clock) = shard_with_clock(10_000);
+        assert!(matches!(
+            s.set_full(b"k", b"v", 0, false, Some(Duration::ZERO)),
+            SetOutcome::Stored { .. }
+        ));
+        assert!(s.get(b"k").is_none(), "zero TTL is immediately invisible");
+    }
+
+    #[test]
     fn cas_on_expired_entry_is_not_found() {
-        let mut s = Shard::new(10_000);
-        s.set_full(
-            b"k",
-            b"v",
-            0,
-            false,
-            Some(std::time::Duration::from_millis(10)),
-        );
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"k", b"v", 0, false, Some(Duration::from_secs(10)));
         let token = s.get(b"k").unwrap().cas;
-        std::thread::sleep(std::time::Duration::from_millis(25));
+        clock.advance(Duration::from_secs(25));
         assert_eq!(s.cas(b"k", b"w", 0, token, None), CasOutcome::NotFound);
     }
 
     #[test]
     fn incr_preserves_remaining_ttl() {
-        let mut s = Shard::new(10_000);
-        s.set_full(
-            b"n",
-            b"1",
-            0,
-            false,
-            Some(std::time::Duration::from_millis(40)),
-        );
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"n", b"1", 0, false, Some(Duration::from_secs(40)));
         assert_eq!(s.arith(b"n", 1, false), ArithOutcome::Value(2));
-        std::thread::sleep(std::time::Duration::from_millis(60));
+        clock.advance(Duration::from_secs(60));
         assert!(s.get(b"n").is_none(), "incr must not clear the expiry");
+    }
+
+    #[test]
+    fn incr_preserves_remaining_ttl_exactly() {
+        // Virtual time makes the TTL arithmetic exact: an incr 40 s into
+        // a 100 s TTL must leave the original 100 s deadline in place.
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"n", b"1", 0, false, Some(Duration::from_secs(100)));
+        clock.advance(Duration::from_secs(40));
+        assert_eq!(s.arith(b"n", 1, false), ArithOutcome::Value(2));
+        clock.advance(Duration::from_secs(59));
+        assert!(s.contains(b"n"), "99 s in: one second of TTL remains");
+        clock.advance(Duration::from_secs(1));
+        assert!(!s.contains(b"n"), "100 s in: the original deadline holds");
+    }
+
+    #[test]
+    fn expired_entries_are_reclaimed_before_live_evictions() {
+        // key1 expires mid-list; the subsequent over-budget set must
+        // reclaim it instead of evicting the live LRU tail (key0).
+        let cost = entry_cost(b"key0", b"value0");
+        let (mut s, clock) = shard_with_clock(3 * cost);
+        s.set(b"key0", b"value0", 0, false);
+        s.set_full(b"key1", b"value1", 0, false, Some(Duration::from_secs(1)));
+        s.set(b"key2", b"value2", 0, false);
+        clock.advance(Duration::from_secs(2));
+        match s.set(b"key3", b"value3", 0, false) {
+            SetOutcome::Stored { evicted } => {
+                assert_eq!(evicted, 0, "the expired entry made room, not an eviction");
+            }
+            o => panic!("{o:?}"),
+        }
+        assert!(s.contains(b"key0"), "live LRU tail wrongly evicted");
+        assert!(!s.contains(b"key1"));
+        assert!(s.contains(b"key2") && s.contains(b"key3"));
+        assert!(s.mem_used() <= s.mem_limit());
+    }
+
+    #[test]
+    fn expired_pinned_entry_cannot_force_oom() {
+        // A pinned entry is never on the LRU list, so before the sweep an
+        // expired pinned entry held its budget forever and forced OOM.
+        let cost = entry_cost(b"key0", b"value0");
+        let (mut s, clock) = shard_with_clock(cost + 10);
+        s.set_full(b"key0", b"value0", 0, true, Some(Duration::from_secs(1)));
+        clock.advance(Duration::from_secs(2));
+        assert!(matches!(
+            s.set(b"key1", b"value1", 0, true),
+            SetOutcome::Stored { .. }
+        ));
+        assert!(s.contains(b"key1"));
+        assert!(!s.contains(b"key0"));
+        assert!(s.mem_used() <= s.mem_limit());
+    }
+
+    #[test]
+    fn expired_pinned_entry_reclaimed_on_overwrite_fit_check() {
+        // Same as above through the overwrite path: a live entry grows
+        // and only fits once the dead pinned entry is reclaimed.
+        let small = entry_cost(b"grow", b"x");
+        let big_val = vec![b'y'; 64];
+        let big = entry_cost(b"grow", &big_val);
+        let pinned_cost = entry_cost(b"dead", b"value0");
+        let (mut s, clock) = shard_with_clock(pinned_cost + big - 1);
+        s.set_full(b"dead", b"value0", 0, true, Some(Duration::from_secs(1)));
+        s.set(b"grow", b"x", 0, false);
+        assert_eq!(s.mem_used(), pinned_cost + small);
+        clock.advance(Duration::from_secs(2));
+        assert!(matches!(
+            s.set(b"grow", &big_val, 0, false),
+            SetOutcome::Stored { .. }
+        ));
+        assert!(!s.contains(b"dead"));
+        assert_eq!(&s.get(b"grow").unwrap().data[..], &big_val[..]);
+    }
+
+    #[test]
+    fn sweep_expired_reclaims_pinned_and_unpinned() {
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"a", b"1", 0, false, Some(Duration::from_secs(1)));
+        s.set_full(b"b", b"2", 0, true, Some(Duration::from_secs(1)));
+        s.set(b"c", b"3", 0, false);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sweep_expired(), 0, "nothing expired yet");
+        clock.advance(Duration::from_secs(2));
+        let used_before = s.mem_used();
+        assert_eq!(s.sweep_expired(), 2);
+        assert_eq!(s.len(), 1, "len() reflects the sweep");
+        assert!(s.mem_used() < used_before, "mem_used() reflects the sweep");
+        assert!(s.contains(b"c"));
     }
 
     #[test]
@@ -753,6 +944,43 @@ mod tests {
                 let expect_used: usize = reference.values().map(|(c, _)| *c).sum();
                 prop_assert_eq!(s.mem_used(), expect_used);
                 prop_assert_eq!(s.len(), reference.len());
+            }
+        }
+    }
+
+    // TTL accounting under random operations on virtual time: after any
+    // advance, expiry is exactly "deadline tick <= now" — a pure function
+    // of injected time, never of wall time.
+    proptest! {
+        #[test]
+        fn expiry_is_a_pure_function_of_injected_time(
+            ops in proptest::collection::vec(
+                (0u32..8, any::<bool>(), 0u64..50, 0u64..30), 1..80),
+        ) {
+            let (mut s, clock) = shard_with_clock(1 << 20);
+            let mut deadlines: std::collections::HashMap<Vec<u8>, Option<u64>> =
+                Default::default();
+            let mut now = 0u64;
+            for (keyn, has_ttl, ttl_raw, advance_ns) in ops {
+                let key = format!("k{keyn}").into_bytes();
+                let ttl_ns = has_ttl.then_some(ttl_raw);
+                let ttl = ttl_ns.map(Duration::from_nanos);
+                s.set_full(&key, b"v", 0, false, ttl);
+                deadlines.insert(key, ttl_ns.map(|t| now + t));
+                clock.advance(Duration::from_nanos(advance_ns));
+                now += advance_ns;
+                for (k, deadline) in &deadlines {
+                    let alive_by_model = match deadline {
+                        None => true,
+                        Some(d) => *d > now,
+                    };
+                    prop_assert_eq!(
+                        s.contains(k),
+                        alive_by_model,
+                        "key {:?} at tick {}: model and shard disagree",
+                        k, now
+                    );
+                }
             }
         }
     }

@@ -25,6 +25,16 @@ pub struct StoreStats {
     pub cas_ok: AtomicU64,
     /// CAS attempts rejected for a stale token.
     pub cas_conflicts: AtomicU64,
+    /// `incr` operations that found their key.
+    pub incr_hits: AtomicU64,
+    /// `incr` operations on a missing key.
+    pub incr_misses: AtomicU64,
+    /// `decr` operations that found their key.
+    pub decr_hits: AtomicU64,
+    /// `decr` operations on a missing key.
+    pub decr_misses: AtomicU64,
+    /// incr/decr refused because the value is not a number.
+    pub arith_non_numeric: AtomicU64,
 }
 
 /// A plain-data snapshot of [`StoreStats`].
@@ -50,6 +60,16 @@ pub struct StatsSnapshot {
     pub cas_ok: u64,
     /// CAS attempts rejected for a stale token.
     pub cas_conflicts: u64,
+    /// `incr` operations that found their key.
+    pub incr_hits: u64,
+    /// `incr` operations on a missing key.
+    pub incr_misses: u64,
+    /// `decr` operations that found their key.
+    pub decr_hits: u64,
+    /// `decr` operations on a missing key.
+    pub decr_misses: u64,
+    /// incr/decr refused because the value is not a number.
+    pub arith_non_numeric: u64,
     /// Entries currently stored (filled in by the store).
     pub curr_items: u64,
     /// Bytes currently accounted (filled in by the store).
@@ -71,6 +91,11 @@ impl StoreStats {
             get_txns: self.get_txns.load(Ordering::Relaxed),
             cas_ok: self.cas_ok.load(Ordering::Relaxed),
             cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
+            incr_hits: self.incr_hits.load(Ordering::Relaxed),
+            incr_misses: self.incr_misses.load(Ordering::Relaxed),
+            decr_hits: self.decr_hits.load(Ordering::Relaxed),
+            decr_misses: self.decr_misses.load(Ordering::Relaxed),
+            arith_non_numeric: self.arith_non_numeric.load(Ordering::Relaxed),
             curr_items,
             bytes,
         }
@@ -101,6 +126,14 @@ impl StatsSnapshot {
             ("get_transactions".into(), self.get_txns.to_string()),
             ("cas_hits".into(), self.cas_ok.to_string()),
             ("cas_badval".into(), self.cas_conflicts.to_string()),
+            ("incr_hits".into(), self.incr_hits.to_string()),
+            ("incr_misses".into(), self.incr_misses.to_string()),
+            ("decr_hits".into(), self.decr_hits.to_string()),
+            ("decr_misses".into(), self.decr_misses.to_string()),
+            (
+                "arith_non_numeric".into(),
+                self.arith_non_numeric.to_string(),
+            ),
             ("curr_items".into(), self.curr_items.to_string()),
             ("bytes".into(), self.bytes.to_string()),
         ]
@@ -141,6 +174,11 @@ mod tests {
             "evictions",
             "curr_items",
             "bytes",
+            "incr_hits",
+            "incr_misses",
+            "decr_hits",
+            "decr_misses",
+            "arith_non_numeric",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

@@ -1,5 +1,6 @@
 //! The sharded concurrent store.
 
+use crate::clock::Clock;
 use crate::shard::{ArithOutcome, CasOutcome, SetOutcome, Shard, Value};
 use crate::stats::{StatsSnapshot, StoreStats};
 use parking_lot::Mutex;
@@ -38,6 +39,15 @@ impl Store {
 
     /// A store with an explicit shard count (must be a power of two).
     pub fn with_shards(mem_limit: usize, shards: usize) -> Self {
+        Self::with_clock(mem_limit, shards, Clock::real())
+    }
+
+    /// A store whose TTL expiry reads `clock` — the virtual-time
+    /// constructor. Hand every shard a clone of a
+    /// [`TestClock`](crate::TestClock)-backed clock and `advance()` the
+    /// handle you kept to drive expiry deterministically, even across the
+    /// server's connection threads.
+    pub fn with_clock(mem_limit: usize, shards: usize, clock: Clock) -> Self {
         assert!(
             shards.is_power_of_two(),
             "shard count must be a power of two"
@@ -45,7 +55,7 @@ impl Store {
         let per_shard = mem_limit / shards;
         Store {
             shards: (0..shards)
-                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .map(|_| Mutex::new(Shard::with_clock(per_shard, clock.clone())))
                 .collect(),
             mask: (shards - 1) as u64,
             stats: StoreStats::default(),
@@ -195,7 +205,38 @@ impl Store {
 
     /// `incr` (`negative = false`) / `decr` (`negative = true`).
     pub fn arith(&self, key: &[u8], delta: u64, negative: bool) -> ArithOutcome {
-        self.shard_of(key).lock().arith(key, delta, negative)
+        let outcome = self.shard_of(key).lock().arith(key, delta, negative);
+        match outcome {
+            ArithOutcome::Value(_) => {
+                let hits = if negative {
+                    &self.stats.decr_hits
+                } else {
+                    &self.stats.incr_hits
+                };
+                hits.fetch_add(1, Ordering::Relaxed);
+                // incr/decr rewrites the value: a mutation, like set/cas.
+                self.stats.sets.fetch_add(1, Ordering::Relaxed);
+            }
+            ArithOutcome::NotFound => {
+                let misses = if negative {
+                    &self.stats.decr_misses
+                } else {
+                    &self.stats.incr_misses
+                };
+                misses.fetch_add(1, Ordering::Relaxed);
+            }
+            ArithOutcome::NonNumeric => {
+                self.stats.arith_non_numeric.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Eagerly reclaim expired entries in every shard (pinned ones
+    /// included); returns how many were removed. `len()`/`mem_used()`
+    /// reflect the sweep immediately.
+    pub fn sweep_expired(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().sweep_expired()).sum()
     }
 
     /// Delete a key; true if it existed.
@@ -328,5 +369,67 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_shards_rejected() {
         Store::with_shards(1024, 3);
+    }
+
+    #[test]
+    fn arith_outcomes_are_counted() {
+        // Regression: `Store::arith` used to record no stats at all.
+        let store = Store::new(1 << 20);
+        store.set(b"n", b"10", 0, false);
+        store.set(b"txt", b"hello", 0, false);
+        assert!(matches!(
+            store.arith(b"n", 5, false),
+            ArithOutcome::Value(15)
+        ));
+        assert!(matches!(
+            store.arith(b"n", 1, false),
+            ArithOutcome::Value(16)
+        ));
+        assert!(matches!(
+            store.arith(b"n", 6, true),
+            ArithOutcome::Value(10)
+        ));
+        assert!(matches!(
+            store.arith(b"missing", 1, false),
+            ArithOutcome::NotFound
+        ));
+        assert!(matches!(
+            store.arith(b"missing", 1, true),
+            ArithOutcome::NotFound
+        ));
+        assert!(matches!(
+            store.arith(b"txt", 1, false),
+            ArithOutcome::NonNumeric
+        ));
+        let s = store.stats();
+        assert_eq!(s.incr_hits, 2);
+        assert_eq!(s.decr_hits, 1);
+        assert_eq!(s.incr_misses, 1);
+        assert_eq!(s.decr_misses, 1);
+        assert_eq!(s.arith_non_numeric, 1);
+        // incr/decr rewrite the value, so they count as mutations too:
+        // 2 plain sets + 3 successful ariths.
+        assert_eq!(s.sets, 5);
+    }
+
+    #[test]
+    fn store_expiry_on_virtual_time() {
+        use crate::clock::TestClock;
+        use std::time::Duration;
+
+        let clock = TestClock::new();
+        let store = Store::with_clock(1 << 20, 4, clock.clone().into());
+        store.set_with_ttl(b"a", b"1", 0, false, Some(Duration::from_secs(5)));
+        store.set_with_ttl(b"b", b"2", 0, true, Some(Duration::from_secs(5)));
+        store.set(b"c", b"3", 0, false);
+        assert_eq!(store.len(), 3);
+        clock.advance(Duration::from_secs(6));
+        // Expired entries linger until touched or swept…
+        assert!(store.get(b"a").is_none());
+        // …and a sweep reclaims the rest (the pinned one included, which
+        // no lookup path would ever remove for us here).
+        assert_eq!(store.sweep_expired(), 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(b"c").is_some());
     }
 }

@@ -3,7 +3,7 @@
 //! | Rule | Scope | Invariant |
 //! |------|-------|-----------|
 //! | R1 `panic-free-serving-path` | `rnb-store` server/shard/store/protocol, `rnb-client` client | no `unwrap`/`expect`/`panic!`-family in non-test code: errors must propagate as `Result` |
-//! | R2 `deterministic-simulation` | whole workspace | no unseeded randomness anywhere; no wall-clock reads outside the allowlisted measurement/TTL files |
+//! | R2 `deterministic-simulation` | whole workspace | no unseeded randomness anywhere; no wall-clock reads outside the benchmark harness and `rnb-store`'s `clock.rs` (everything else takes an injected `Clock`) |
 //! | R3 `lossless-wire-casts` | `rnb-store/src/protocol.rs` | no `as` integer casts in wire-format code: use `try_from` |
 //! | R4 `invariant-inventory` | whole workspace | every non-test `debug_assert*` carries a message registered in INVARIANTS.md; every `::MAX` sentinel is registered; no stale entries |
 //! | R5 `no-thread-sleep` | whole workspace | no `thread::sleep` in non-test code outside the justified allowlist: sleeping hides latency bugs and stalls serving threads |
@@ -60,12 +60,9 @@ pub const TIME_ALLOWLIST: &[(&str, &str)] = &[
         "benchmark harness: measuring wall-clock latency/throughput is its job",
     ),
     (
-        "crates/rnb-store/src/loadgen.rs",
-        "load generator: paces and times real requests against real servers",
-    ),
-    (
-        "crates/rnb-store/src/shard.rs",
-        "TTL expiry is defined against wall-clock time by the memcached contract",
+        "crates/rnb-store/src/clock.rs",
+        "the one sanctioned wall-clock read in rnb-store: RealClock anchors \
+         an Instant; shard/store/server/loadgen all take an injected Clock",
     ),
 ];
 
@@ -542,7 +539,7 @@ mod tests {
         // Even inside allowlisted files: the time allowlist never excuses
         // unseeded randomness.
         let f = SourceFile::new(
-            "crates/rnb-store/src/loadgen.rs",
+            "crates/rnb-store/src/clock.rs",
             "fn f() { let mut r = thread_rng(); }",
         );
         assert_eq!(check_determinism(&f).len(), 1);
@@ -556,7 +553,7 @@ mod tests {
         );
         assert_eq!(check_determinism(&outside).len(), 2);
         let inside = SourceFile::new(
-            "crates/rnb-store/src/loadgen.rs",
+            "crates/rnb-store/src/clock.rs",
             "fn f() { let t = Instant::now(); }",
         );
         assert_eq!(check_determinism(&inside), Vec::new());
@@ -565,6 +562,25 @@ mod tests {
             "fn f() { let t = Instant::now(); }",
         );
         assert_eq!(check_determinism(&bench), Vec::new());
+    }
+
+    #[test]
+    fn r2_flags_reintroduced_wallclock_in_clock_injected_files() {
+        // shard.rs and loadgen.rs earned their way off the allowlist when
+        // the injected Clock landed; a reintroduced direct read must fail
+        // the lint from now on.
+        for path in [
+            "crates/rnb-store/src/shard.rs",
+            "crates/rnb-store/src/loadgen.rs",
+            "crates/rnb-store/src/server.rs",
+            "crates/rnb-store/src/store.rs",
+        ] {
+            let f = SourceFile::new(path, "fn f() { let t = Instant::now(); }");
+            let v = check_determinism(&f);
+            assert_eq!(v.len(), 1, "{path} must not read the wall clock");
+            assert_eq!(v[0].rule, "R2/deterministic-simulation");
+            assert!(v[0].message.contains("outside the time allowlist"));
+        }
     }
 
     #[test]
@@ -580,19 +596,19 @@ mod tests {
     fn r2_stale_allowlist_entries_are_flagged() {
         // None of these files read the clock, so every entry is stale.
         let files = vec![SourceFile::new(
-            "crates/rnb-store/src/loadgen.rs",
+            "crates/rnb-store/src/clock.rs",
             "fn quiet() {}",
         )];
         let v = check_stale_allowlist(&files);
         assert_eq!(v.len(), TIME_ALLOWLIST.len());
         // One real use marks exactly that entry live.
         let files = vec![SourceFile::new(
-            "crates/rnb-store/src/loadgen.rs",
+            "crates/rnb-store/src/clock.rs",
             "fn f() { let t = Instant::now(); }",
         )];
         let v = check_stale_allowlist(&files);
         assert_eq!(v.len(), TIME_ALLOWLIST.len() - 1);
-        assert!(v.iter().all(|v| !v.file.contains("loadgen")));
+        assert!(v.iter().all(|v| !v.file.contains("clock")));
     }
 
     // -------- R5 --------
