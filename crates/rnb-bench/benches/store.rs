@@ -1,0 +1,422 @@
+//! Store serving-path throughput: the shard-batched multi-get
+//! (`Store::get_multi_into`, one lock per touched shard) against the
+//! retained per-key seed path (`Store::get_multi_reference`, one lock
+//! and one clock read per key) — the store-side analog of the paper's
+//! per-transaction-overhead argument (§II).
+//!
+//! Beyond the Criterion smoke group, a grid sweep
+//! (M ∈ {10, 100, 400}, shards ∈ {1, 8, 64}, value ∈ {10, 1024} bytes)
+//! writes `BENCH_store.json` at the repo root (schema in
+//! EXPERIMENTS.md), plus a reported-only pipelined loopback-TCP
+//! throughput figure. Flags after `--`:
+//!
+//! * `--quick`   — reduced iteration budget (CI smoke).
+//! * `--enforce` — exit non-zero if the checkpoint cell (M=100,
+//!   shards=8, value=10) speeds up by less than 2×, or if the geometric
+//!   mean *speedup over the reference path* regresses more than 10%
+//!   against the committed `BENCH_store.json`. Speedup is a
+//!   same-machine, same-budget ratio, so the gate is portable across CI
+//!   hardware where absolute ns/request are not.
+//!
+//! Under `cargo test` (`--test` in argv) only the Criterion smoke pass
+//! runs; the grid is skipped and the committed JSON is left untouched.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use rnb_store::{GetScratch, Store, StoreServer};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Keyspace and request shapes for one cell: `4*m` keys, 8 rotating
+/// request windows of `m` keys each, so consecutive requests touch
+/// different (but overlapping) key sets like a real hot set.
+struct CellData {
+    store: Store,
+    keys: Vec<Vec<u8>>,
+    windows: Vec<Vec<usize>>,
+}
+
+fn cell_data(m: usize, shards: usize, vlen: usize) -> CellData {
+    let store = Store::with_shards(64 << 20, shards);
+    let nkeys = 4 * m;
+    let keys: Vec<Vec<u8>> = (0..nkeys)
+        .map(|i| format!("key-{i:05}").into_bytes())
+        .collect();
+    let value = vec![b'x'; vlen];
+    for k in &keys {
+        store.set(k, &value, 0, false);
+    }
+    let windows = (0..8)
+        .map(|w| (0..m).map(|j| (w * m + j) % nkeys).collect())
+        .collect();
+    CellData {
+        store,
+        keys,
+        windows,
+    }
+}
+
+impl CellData {
+    fn request(&self, i: usize) -> Vec<&[u8]> {
+        self.windows[i % self.windows.len()]
+            .iter()
+            .map(|&idx| self.keys[idx].as_slice())
+            .collect()
+    }
+}
+
+fn bench_get_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/get_multi");
+    let data = cell_data(100, 8, 10);
+    let requests: Vec<Vec<&[u8]>> = (0..8).map(|i| data.request(i)).collect();
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("reference_m100_s8", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let out = data.store.get_multi_reference(black_box(&requests[i % 8]));
+            i += 1;
+            black_box(out.len())
+        })
+    });
+    group.bench_function("batched_m100_s8", |b| {
+        let mut scratch = GetScratch::new();
+        let mut out = Vec::new();
+        let mut i = 0;
+        b.iter(|| {
+            let req = black_box(&requests[i % 8]);
+            let hits = data
+                .store
+                .get_multi_with(&mut scratch, req.len(), |j| req[j], &mut out);
+            i += 1;
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_get_multi);
+
+// ---------------------------------------------------------------------
+// Grid sweep: reference vs batched multi-get, emitted as BENCH_store.json.
+// ---------------------------------------------------------------------
+
+const GRID_M: &[usize] = &[10, 100, 400];
+const GRID_SHARDS: &[usize] = &[1, 8, 64];
+const GRID_VLEN: &[usize] = &[10, 1024];
+
+/// The acceptance checkpoint cell: the batched path must beat the
+/// per-key reference by at least this factor at M=100, 8 shards,
+/// 10-byte values (the paper's micro-benchmark value size).
+const CHECKPOINT: (usize, usize, usize) = (100, 8, 10);
+const MIN_CHECKPOINT_SPEEDUP: f64 = 2.0;
+/// `--enforce`: maximum tolerated geometric-mean speedup regression
+/// against the committed baseline JSON.
+const MAX_REGRESSION: f64 = 1.10;
+
+/// Where the committed baseline lives (repo root).
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+
+struct Cell {
+    m: usize,
+    shards: usize,
+    vlen: usize,
+    ref_ns: f64,
+    batched_ns: f64,
+}
+
+impl Cell {
+    fn key(&self) -> String {
+        format!("m{}_s{}_v{}", self.m, self.shards, self.vlen)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.ref_ns / self.batched_ns
+    }
+}
+
+/// Mean ns per call of `f` over `rounds` calls, after `warmup` untimed
+/// calls (pool growth, caches, branch predictors).
+fn time_ns_per_call(warmup: usize, rounds: usize, mut f: impl FnMut(usize) -> usize) -> f64 {
+    for i in 0..warmup {
+        black_box(f(i));
+    }
+    let start = Instant::now();
+    for i in 0..rounds {
+        black_box(f(i));
+    }
+    start.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+fn run_cell(m: usize, shards: usize, vlen: usize, quick: bool) -> Cell {
+    let data = cell_data(m, shards, vlen);
+    let requests: Vec<Vec<&[u8]>> = (0..8).map(|i| data.request(i)).collect();
+    let full = (1_000_000 / m).max(500);
+    let rounds = if quick { (full / 8).max(100) } else { full };
+    let warmup = (rounds / 10).max(50);
+    // Seed path: one shard-lock acquisition and one clock read per key.
+    let ref_ns = time_ns_per_call(warmup, rounds, |i| {
+        data.store
+            .get_multi_reference(&requests[i % requests.len()])
+            .len()
+    });
+    // Batched path: pooled scratch, one lock per touched shard.
+    let mut scratch = GetScratch::new();
+    let mut out = Vec::new();
+    let batched_ns = time_ns_per_call(warmup, rounds, |i| {
+        let req = &requests[i % requests.len()];
+        data.store
+            .get_multi_with(&mut scratch, req.len(), |j| req[j], &mut out)
+    });
+    Cell {
+        m,
+        shards,
+        vlen,
+        ref_ns,
+        batched_ns,
+    }
+}
+
+/// Pipelined multi-get over loopback TCP (reported, not gated: wire
+/// numbers mix in kernel/socket costs that vary across CI machines).
+/// One connection, `depth` in-flight 100-key gets per batch.
+fn run_tcp(quick: bool) -> std::io::Result<(usize, f64)> {
+    const M: usize = 100;
+    const DEPTH: usize = 32;
+    let store = Arc::new(Store::new(64 << 20));
+    let keys: Vec<Vec<u8>> = (0..M).map(|i| format!("key-{i:05}").into_bytes()).collect();
+    for k in &keys {
+        store.set(k, &[b'x'; 10], 0, false);
+    }
+    let server = StoreServer::start(store)?;
+    let mut conn = TcpStream::connect(server.addr())?;
+    conn.set_nodelay(true)?;
+
+    let mut get_line = b"get".to_vec();
+    for k in &keys {
+        get_line.push(b' ');
+        get_line.extend_from_slice(k);
+    }
+    get_line.extend_from_slice(b"\r\n");
+    let batch: Vec<u8> = get_line.repeat(DEPTH);
+
+    let rounds = if quick { 20 } else { 200 };
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut run_batch = || -> std::io::Result<()> {
+        conn.write_all(&batch)?;
+        let mut ends = 0usize;
+        let mut tail: Vec<u8> = Vec::new();
+        while ends < DEPTH {
+            let n = conn.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            // Count END markers, carrying a 4-byte seam between reads.
+            tail.extend_from_slice(&buf[..n]);
+            ends += tail.windows(5).filter(|w| w == b"END\r\n").count();
+            let keep = tail.len().min(4);
+            tail.drain(..tail.len() - keep);
+        }
+        Ok(())
+    };
+    // Warmup.
+    for _ in 0..2 {
+        run_batch()?;
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        run_batch()?;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let items = (rounds * DEPTH * M) as f64;
+    Ok((M, items / secs))
+}
+
+fn render_json(cells: &[Cell], tcp: Option<(usize, f64)>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"store\",\n  \"unit\": \"ns_per_request\",\n");
+    let cp = cells
+        .iter()
+        .find(|c| (c.m, c.shards, c.vlen) == CHECKPOINT)
+        .expect("checkpoint cell is in the grid");
+    out.push_str(&format!(
+        "  \"checkpoint\": {{ \"cell\": \"{}\", \"speedup\": {:.2} }},\n",
+        cp.key(),
+        cp.speedup()
+    ));
+    if let Some((m, items_per_sec)) = tcp {
+        out.push_str(&format!(
+            "  \"tcp_pipelined\": {{ \"m\": {m}, \"depth\": 32, \"items_per_sec\": {:.0} }},\n",
+            items_per_sec
+        ));
+    }
+    out.push_str("  \"grid\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"cell\": \"{}\", \"m\": {}, \"shards\": {}, \"vlen\": {}, \
+             \"ref_ns\": {:.1}, \"batched_ns\": {:.1}, \"speedup\": {:.2} }}{sep}\n",
+            c.key(),
+            c.m,
+            c.shards,
+            c.vlen,
+            c.ref_ns,
+            c.batched_ns,
+            c.speedup()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pull the grid `speedup` per cell out of a previously emitted JSON
+/// file. Each grid entry is written on one line, so a line-oriented scan
+/// is a faithful parser for files this bench produced. (The checkpoint
+/// and tcp lines have no `ref_ns`, so they are skipped.)
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(cell_at) = line.find("\"cell\": \"") else {
+            continue;
+        };
+        let rest = &line[cell_at + 9..];
+        let Some(cell_end) = rest.find('"') else {
+            continue;
+        };
+        let cell = rest[..cell_end].to_string();
+        if !line.contains("\"ref_ns\": ") {
+            continue;
+        }
+        let Some(at) = line.find("\"speedup\": ") else {
+            continue;
+        };
+        let num = &line[at + 11..];
+        let end = num.find([',', ' ', '}']).unwrap_or(num.len());
+        if let Ok(speedup) = num[..end].parse::<f64>() {
+            out.push((cell, speedup));
+        }
+    }
+    out
+}
+
+/// Returns `true` when every enforced gate passed.
+fn run_grid(quick: bool, enforce: bool) -> bool {
+    let baseline = std::fs::read_to_string(JSON_PATH)
+        .ok()
+        .map(|t| parse_baseline(&t));
+
+    let mut cells = Vec::new();
+    println!("\n[store grid] per-key reference get_multi vs shard-batched path");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "cell", "ref ns", "batched ns", "speedup"
+    );
+    for &m in GRID_M {
+        for &shards in GRID_SHARDS {
+            for &vlen in GRID_VLEN {
+                let cell = run_cell(m, shards, vlen, quick);
+                println!(
+                    "{:<16} {:>12.1} {:>12.1} {:>8.2}x",
+                    cell.key(),
+                    cell.ref_ns,
+                    cell.batched_ns,
+                    cell.speedup()
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let tcp = match run_tcp(quick) {
+        Ok((m, items_per_sec)) => {
+            println!("[store grid] tcp pipelined m={m} depth=32: {items_per_sec:.0} items/s");
+            Some((m, items_per_sec))
+        }
+        Err(e) => {
+            eprintln!("[store grid] tcp section failed (reported only): {e}");
+            None
+        }
+    };
+
+    let json = render_json(&cells, tcp);
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => println!("[store grid] wrote {JSON_PATH}"),
+        Err(e) => eprintln!("[store grid] could not write {JSON_PATH}: {e}"),
+    }
+
+    let mut failed = false;
+    let cp = cells
+        .iter()
+        .find(|c| (c.m, c.shards, c.vlen) == CHECKPOINT)
+        .expect("checkpoint cell is in the grid");
+    println!(
+        "[store grid] checkpoint {}: {:.2}x (floor {MIN_CHECKPOINT_SPEEDUP}x)",
+        cp.key(),
+        cp.speedup()
+    );
+    if enforce && cp.speedup() < MIN_CHECKPOINT_SPEEDUP {
+        eprintln!(
+            "[store grid] FAIL: checkpoint speedup {:.2}x below the {MIN_CHECKPOINT_SPEEDUP}x floor",
+            cp.speedup()
+        );
+        failed = true;
+    }
+
+    if let Some(base) = baseline {
+        // Geometric-mean ratio of baseline speedup to current speedup
+        // over cells present in both runs: > 1 means the batched path's
+        // edge over the reference shrank. Speedups are same-machine
+        // ratios, so this survives hardware differences between the
+        // committing machine and CI; the geo-mean is robust to
+        // single-cell noise.
+        let mut log_sum = 0.0f64;
+        let mut count = 0usize;
+        for cell in &cells {
+            if let Some((_, base_speedup)) = base.iter().find(|(key, _)| *key == cell.key()) {
+                log_sum += (base_speedup / cell.speedup()).ln();
+                count += 1;
+            }
+        }
+        if count > 0 {
+            let ratio = (log_sum / count as f64).exp();
+            println!(
+                "[store grid] baseline/current speedup (geo-mean over {count} cells): {ratio:.3}x"
+            );
+            if enforce && ratio > MAX_REGRESSION {
+                eprintln!(
+                    "[store grid] FAIL: batched-path speedup regressed {:.1}% vs committed baseline (limit {:.0}%)",
+                    (ratio - 1.0) * 100.0,
+                    (MAX_REGRESSION - 1.0) * 100.0
+                );
+                failed = true;
+            }
+        }
+    } else {
+        println!("[store grid] no committed baseline at {JSON_PATH}; skipping regression gate");
+    }
+
+    !failed
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    benches();
+    if args.iter().any(|a| a == "--test") {
+        // `cargo test` smoke pass: Criterion already ran each body once;
+        // skip the timed grid so test runs stay fast and the committed
+        // BENCH_store.json is never clobbered by an unrepresentative run.
+        return ExitCode::SUCCESS;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let enforce = args.iter().any(|a| a == "--enforce");
+    if run_grid(quick, enforce) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

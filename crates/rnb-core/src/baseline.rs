@@ -31,6 +31,13 @@ impl FullSystemReplication {
     /// Split `servers` machines into `copies` equal groups. `servers` must
     /// be divisible by `copies` (the scheme "only permits system
     /// enlargement in relatively large strides" — the paper's words).
+    ///
+    /// ```
+    /// use rnb_core::FullSystemReplication;
+    /// let fsr = FullSystemReplication::new(16, 4, 1);
+    /// assert_eq!(fsr.copies(), 4);
+    /// assert_eq!(fsr.servers(), 16);
+    /// ```
     pub fn new(servers: usize, copies: usize, seed: u64) -> Self {
         assert!(copies >= 1, "need at least one copy");
         assert!(
@@ -62,6 +69,16 @@ impl FullSystemReplication {
     /// Plan `request` against the group selected by `selector` (callers
     /// pass a request counter for round-robin or a random draw; taken
     /// modulo the number of copies).
+    ///
+    /// ```
+    /// use rnb_core::FullSystemReplication;
+    /// let fsr = FullSystemReplication::new(8, 2, 1);
+    /// let request: Vec<u64> = (0..20).collect();
+    /// let plan = fsr.plan(&request, 0);
+    /// assert_eq!(plan.planned_items(), 20);
+    /// // Selector 0 picks group 0, which owns servers 0..4.
+    /// assert!(plan.transactions.iter().all(|t| t.server < 4));
+    /// ```
     pub fn plan(&self, request: &[ItemId], selector: u64) -> FetchPlan {
         let g = (selector % self.groups.len() as u64) as usize;
         let ring = &self.groups[g];
@@ -92,6 +109,17 @@ impl FullSystemReplication {
 
     /// All replica locations of `item` (one per group) — what a write
     /// must update.
+    ///
+    /// ```
+    /// use rnb_core::FullSystemReplication;
+    /// let fsr = FullSystemReplication::new(12, 3, 5);
+    /// let ws = fsr.write_set(42);
+    /// // One location per complete copy, one inside each group of 4.
+    /// assert_eq!(ws.len(), 3);
+    /// for (group, &server) in ws.iter().enumerate() {
+    ///     assert_eq!(server / 4, group as u32);
+    /// }
+    /// ```
     pub fn write_set(&self, item: ItemId) -> Vec<ServerId> {
         self.groups
             .iter()

@@ -31,6 +31,15 @@ pub struct PlanScratch {
 
 impl PlanScratch {
     /// Empty pools; the first planned request grows them.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 4));
+    /// let mut scratch = PlanScratch::new();
+    /// // Later requests of similar shape reuse the warmed buffers.
+    /// let plan = bundler.plan_with(&mut scratch, &[1, 2, 3]);
+    /// assert_eq!(plan.planned_items(), 3);
+    /// ```
     pub fn new() -> Self {
         Self::default()
     }
@@ -49,6 +58,12 @@ pub struct Bundler<P: Placement = PlacementStrategy> {
 
 impl Bundler<PlacementStrategy> {
     /// Build a bundler for the deployment described by `config`.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 4));
+    /// assert!(bundler.plan(&[1, 2, 3]).tpr() <= 3);
+    /// ```
     pub fn from_config(config: &RnbConfig) -> Self {
         Bundler {
             placement: PlacementStrategy::from_config(config),
@@ -59,6 +74,12 @@ impl Bundler<PlacementStrategy> {
 
 impl<P: Placement> Bundler<P> {
     /// Build over an explicit placement with default policies.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, PlacementStrategy};
+    /// let bundler = Bundler::new(PlacementStrategy::no_replication(8, 0));
+    /// assert_eq!(bundler.placement().name(), "rch");
+    /// ```
     pub fn new(placement: P) -> Self {
         Bundler {
             placement,
@@ -68,6 +89,14 @@ impl<P: Placement> Bundler<P> {
 
     /// Toggle routing of single-item transactions to the distinguished
     /// copy (§III-C1).
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 4))
+    ///     .with_single_item_to_distinguished(false);
+    /// // A lone item is now fetched from whichever replica the cover picks.
+    /// assert_eq!(bundler.plan(&[7]).tpr(), 1);
+    /// ```
     pub fn with_single_item_to_distinguished(mut self, on: bool) -> Self {
         self.single_item_to_distinguished = on;
         self
@@ -83,12 +112,29 @@ impl<P: Placement> Bundler<P> {
     /// One-shot convenience over a throwaway [`PlanScratch`]; hot loops
     /// should hold a scratch and use [`Bundler::plan_into`] /
     /// [`Bundler::plan_with`] so pooled buffers are reused.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 4));
+    /// let plan = bundler.plan(&[10, 20, 30, 40]);
+    /// assert_eq!(plan.planned_items(), 4); // every distinct item fetched
+    /// assert!(plan.tpr() <= 4);            // bundling never adds round-trips
+    /// ```
     pub fn plan(&self, request: &[ItemId]) -> FetchPlan {
         self.plan_with(&mut PlanScratch::new(), request)
     }
 
     /// Plan a LIMIT fetch: at least `min_items` of `request` (§III-F).
     /// `min_items` is clamped to the number of distinct requested items.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 2));
+    /// let request: Vec<u64> = (0..40).collect();
+    /// let plan = bundler.plan_limit(&request, 20);
+    /// assert!(plan.planned_items() >= 20);
+    /// assert!(plan.tpr() <= bundler.plan(&request).tpr());
+    /// ```
     pub fn plan_limit(&self, request: &[ItemId], min_items: usize) -> FetchPlan {
         self.plan_limit_with(&mut PlanScratch::new(), request, min_items)
     }
@@ -98,11 +144,29 @@ impl<P: Placement> Bundler<P> {
     /// second LIMIT form, "fetch as many items as possible out of the
     /// following list within X milliseconds" (§III-F): per-transaction
     /// latency dominates, so a deadline is a transaction budget.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    /// let request: Vec<u64> = (0..60).collect();
+    /// let plan = bundler.plan_budget(&request, 2);
+    /// assert!(plan.tpr() <= 2);            // the cap is honoured…
+    /// assert!(plan.planned_items() > 2);   // …and each round-trip bundles
+    /// ```
     pub fn plan_budget(&self, request: &[ItemId], max_transactions: usize) -> FetchPlan {
         self.plan_budget_with(&mut PlanScratch::new(), request, max_transactions)
     }
 
     /// [`Bundler::plan`] reusing `scratch`'s pooled buffers.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    /// let mut scratch = PlanScratch::new();
+    /// // A reused scratch is invisible in the output.
+    /// let pooled = bundler.plan_with(&mut scratch, &[1, 2, 3]);
+    /// assert_eq!(pooled.transactions, bundler.plan(&[1, 2, 3]).transactions);
+    /// ```
     pub fn plan_with(&self, scratch: &mut PlanScratch, request: &[ItemId]) -> FetchPlan {
         let mut out = FetchPlan::default();
         self.plan_into(scratch, request, &mut out);
@@ -110,6 +174,15 @@ impl<P: Placement> Bundler<P> {
     }
 
     /// [`Bundler::plan_limit`] reusing `scratch`'s pooled buffers.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 2));
+    /// let mut scratch = PlanScratch::new();
+    /// let request: Vec<u64> = (0..30).collect();
+    /// let plan = bundler.plan_limit_with(&mut scratch, &request, 10);
+    /// assert!(plan.planned_items() >= 10);
+    /// ```
     pub fn plan_limit_with(
         &self,
         scratch: &mut PlanScratch,
@@ -122,6 +195,15 @@ impl<P: Placement> Bundler<P> {
     }
 
     /// [`Bundler::plan_budget`] reusing `scratch`'s pooled buffers.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    /// let mut scratch = PlanScratch::new();
+    /// let request: Vec<u64> = (0..30).collect();
+    /// let plan = bundler.plan_budget_with(&mut scratch, &request, 3);
+    /// assert!(plan.tpr() <= 3);
+    /// ```
     pub fn plan_budget_with(
         &self,
         scratch: &mut PlanScratch,
@@ -136,11 +218,32 @@ impl<P: Placement> Bundler<P> {
     /// Fully pooled [`Bundler::plan`]: overwrites `out` in place, reusing
     /// its transaction buffers. With a warmed `scratch` and an `out` of
     /// stable shape, planning makes zero allocator calls.
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, FetchPlan, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    /// let mut scratch = PlanScratch::new();
+    /// let mut out = FetchPlan::default();
+    /// for round in 0..3u64 {
+    ///     // Same buffers every round; `out` is overwritten in place.
+    ///     bundler.plan_into(&mut scratch, &[round, round + 1], &mut out);
+    ///     assert_eq!(out.planned_items(), 2);
+    /// }
+    /// ```
     pub fn plan_into(&self, scratch: &mut PlanScratch, request: &[ItemId], out: &mut FetchPlan) {
         self.plan_target_into(scratch, request, Target::Full, out);
     }
 
     /// Fully pooled [`Bundler::plan_limit`]; see [`Bundler::plan_into`].
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, FetchPlan, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 2));
+    /// let (mut scratch, mut out) = (PlanScratch::new(), FetchPlan::default());
+    /// let request: Vec<u64> = (0..30).collect();
+    /// bundler.plan_limit_into(&mut scratch, &request, 10, &mut out);
+    /// assert!(out.planned_items() >= 10);
+    /// ```
     pub fn plan_limit_into(
         &self,
         scratch: &mut PlanScratch,
@@ -152,6 +255,15 @@ impl<P: Placement> Bundler<P> {
     }
 
     /// Fully pooled [`Bundler::plan_budget`]; see [`Bundler::plan_into`].
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, FetchPlan, PlanScratch, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    /// let (mut scratch, mut out) = (PlanScratch::new(), FetchPlan::default());
+    /// let request: Vec<u64> = (0..30).collect();
+    /// bundler.plan_budget_into(&mut scratch, &request, 3, &mut out);
+    /// assert!(out.tpr() <= 3);
+    /// ```
     pub fn plan_budget_into(
         &self,
         scratch: &mut PlanScratch,

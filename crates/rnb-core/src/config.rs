@@ -48,6 +48,14 @@ pub struct RnbConfig {
 impl RnbConfig {
     /// A default-policy config: RCH placement, xxHash64, seed 0x52_6e_42
     /// ("RnB"), distinguished-copy routing on.
+    ///
+    /// ```
+    /// use rnb_core::{PlacementKind, RnbConfig};
+    /// let config = RnbConfig::new(16, 4);
+    /// assert_eq!(config.servers, 16);
+    /// assert_eq!(config.replication, 4);
+    /// assert_eq!(config.placement, PlacementKind::Rch);
+    /// ```
     pub fn new(servers: usize, replication: usize) -> Self {
         assert!(servers > 0, "need at least one server");
         assert!(replication >= 1, "replication must be >= 1");
@@ -62,18 +70,37 @@ impl RnbConfig {
     }
 
     /// Builder-style: set the placement kind.
+    ///
+    /// ```
+    /// use rnb_core::{PlacementKind, RnbConfig};
+    /// let config = RnbConfig::new(8, 3).with_placement(PlacementKind::MultiHash);
+    /// assert_eq!(config.placement, PlacementKind::MultiHash);
+    /// ```
     pub fn with_placement(mut self, kind: PlacementKind) -> Self {
         self.placement = kind;
         self
     }
 
     /// Builder-style: set the hash family.
+    ///
+    /// ```
+    /// use rnb_core::RnbConfig;
+    /// use rnb_hash::HashKind;
+    /// let config = RnbConfig::new(8, 3).with_hash(HashKind::Murmur3);
+    /// assert_eq!(config.hash, HashKind::Murmur3);
+    /// ```
     pub fn with_hash(mut self, hash: HashKind) -> Self {
         self.hash = hash;
         self
     }
 
     /// Builder-style: set the seed.
+    ///
+    /// ```
+    /// use rnb_core::RnbConfig;
+    /// let config = RnbConfig::new(8, 3).with_seed(99);
+    /// assert_eq!(config.seed, 99);
+    /// ```
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -81,6 +108,12 @@ impl RnbConfig {
 
     /// Builder-style: toggle distinguished-copy routing of single-item
     /// transactions.
+    ///
+    /// ```
+    /// use rnb_core::RnbConfig;
+    /// let config = RnbConfig::new(8, 3).with_single_item_to_distinguished(false);
+    /// assert!(!config.single_item_to_distinguished);
+    /// ```
     pub fn with_single_item_to_distinguished(mut self, on: bool) -> Self {
         self.single_item_to_distinguished = on;
         self

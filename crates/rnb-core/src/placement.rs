@@ -22,6 +22,13 @@ pub enum PlacementStrategy {
 
 impl PlacementStrategy {
     /// Build the strategy described by `config`.
+    ///
+    /// ```
+    /// use rnb_core::{Placement, PlacementStrategy, RnbConfig};
+    /// let placement = PlacementStrategy::from_config(&RnbConfig::new(16, 3));
+    /// assert_eq!(placement.num_servers(), 16);
+    /// assert_eq!(placement.replication(), 3);
+    /// ```
     pub fn from_config(config: &RnbConfig) -> Self {
         Self::build(
             config.placement,
@@ -33,6 +40,15 @@ impl PlacementStrategy {
     }
 
     /// Build a strategy from explicit parameters.
+    ///
+    /// ```
+    /// use rnb_core::{Placement, PlacementKind, PlacementStrategy};
+    /// use rnb_hash::HashKind;
+    /// let placement =
+    ///     PlacementStrategy::build(PlacementKind::Jump, 8, 2, HashKind::XxHash64, 7);
+    /// assert_eq!(placement.name(), "jump");
+    /// assert_eq!(placement.replicas(42).len(), 2);
+    /// ```
     pub fn build(
         kind: PlacementKind,
         servers: usize,
@@ -67,6 +83,13 @@ impl PlacementStrategy {
     /// The memcached baseline: one copy per item on a consistent-hashing
     /// ring (RCH with replication 1 — identical to plain consistent
     /// hashing; see `rnb_hash::rch` tests).
+    ///
+    /// ```
+    /// use rnb_core::{Placement, PlacementStrategy};
+    /// let placement = PlacementStrategy::no_replication(8, 0);
+    /// assert_eq!(placement.replication(), 1);
+    /// assert_eq!(placement.replicas(3).len(), 1);
+    /// ```
     pub fn no_replication(servers: usize, seed: u64) -> Self {
         PlacementStrategy::Rch(RangedConsistentHash::new(
             servers,
@@ -77,6 +100,11 @@ impl PlacementStrategy {
     }
 
     /// Name for tables and logs.
+    ///
+    /// ```
+    /// use rnb_core::PlacementStrategy;
+    /// assert_eq!(PlacementStrategy::no_replication(4, 0).name(), "rch");
+    /// ```
     pub fn name(&self) -> &'static str {
         match self {
             PlacementStrategy::Rch(_) => "rch",

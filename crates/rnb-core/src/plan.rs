@@ -26,17 +26,44 @@ impl FetchPlan {
     /// Transactions Per Request contributed by this plan — the paper's
     /// central metric (before miss handling adds second-round
     /// transactions).
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 4));
+    /// let plan = bundler.plan(&[1, 2, 3, 4, 5]);
+    /// assert_eq!(plan.tpr(), plan.transactions.len());
+    /// assert!(plan.tpr() <= 5);
+    /// ```
     pub fn tpr(&self) -> usize {
         self.transactions.len()
     }
 
     /// Total items the plan fetches (≤ `requested` for LIMIT plans).
+    ///
+    /// ```
+    /// use rnb_core::{FetchPlan, Transaction};
+    /// let plan = FetchPlan {
+    ///     transactions: vec![
+    ///         Transaction { server: 3, items: vec![10, 11, 12] },
+    ///         Transaction { server: 0, items: vec![13] },
+    ///     ],
+    ///     requested: 4,
+    /// };
+    /// assert_eq!(plan.planned_items(), 4);
+    /// ```
     pub fn planned_items(&self) -> usize {
         self.transactions.iter().map(|t| t.items.len()).sum()
     }
 
     /// Distinct servers contacted (equals `tpr()` by construction; kept as
     /// an invariant check for tests).
+    ///
+    /// ```
+    /// use rnb_core::{Bundler, RnbConfig};
+    /// let bundler = Bundler::from_config(&RnbConfig::new(16, 3));
+    /// let plan = bundler.plan(&[7, 8, 9]);
+    /// assert_eq!(plan.distinct_servers(), plan.tpr());
+    /// ```
     pub fn distinct_servers(&self) -> usize {
         let mut s: Vec<ServerId> = self.transactions.iter().map(|t| t.server).collect();
         s.sort_unstable();
@@ -47,6 +74,19 @@ impl FetchPlan {
     /// Histogram of items-per-transaction; index `i` counts transactions
     /// carrying exactly `i` items. Used by the calibration layer to turn
     /// plans into throughput estimates (paper Appendix).
+    ///
+    /// ```
+    /// use rnb_core::{FetchPlan, Transaction};
+    /// let plan = FetchPlan {
+    ///     transactions: vec![
+    ///         Transaction { server: 3, items: vec![10, 11, 12] },
+    ///         Transaction { server: 0, items: vec![13] },
+    ///     ],
+    ///     requested: 4,
+    /// };
+    /// // One 1-item transaction, one 3-item transaction.
+    /// assert_eq!(plan.txn_size_histogram(), vec![0, 1, 0, 1]);
+    /// ```
     pub fn txn_size_histogram(&self) -> Vec<usize> {
         let max = self
             .transactions
@@ -62,6 +102,19 @@ impl FetchPlan {
     }
 
     /// The server each planned item was assigned to.
+    ///
+    /// ```
+    /// use rnb_core::{FetchPlan, Transaction};
+    /// let plan = FetchPlan {
+    ///     transactions: vec![
+    ///         Transaction { server: 3, items: vec![10, 11] },
+    ///         Transaction { server: 0, items: vec![13] },
+    ///     ],
+    ///     requested: 3,
+    /// };
+    /// let pairs: Vec<_> = plan.assignment().collect();
+    /// assert_eq!(pairs, vec![(10, 3), (11, 3), (13, 0)]);
+    /// ```
     pub fn assignment(&self) -> impl Iterator<Item = (ItemId, ServerId)> + '_ {
         self.transactions
             .iter()

@@ -42,6 +42,16 @@ pub struct WritePlan {
 
 impl WritePlan {
     /// Total server transactions this write costs.
+    ///
+    /// ```
+    /// use rnb_core::{PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+    /// let planner = WritePlanner::new(
+    ///     PlacementStrategy::from_config(&RnbConfig::new(16, 4)),
+    ///     WritePolicy::WriteAll,
+    /// );
+    /// // Four replicas → four `set` transactions, no invalidations.
+    /// assert_eq!(planner.plan_write(7).total_txns(), 4);
+    /// ```
     pub fn total_txns(&self) -> usize {
         self.invalidations.len() + self.writes.len()
     }
@@ -70,6 +80,15 @@ pub struct WritePlanner<P: Placement> {
 
 impl<P: Placement> WritePlanner<P> {
     /// A planner with the given policy.
+    ///
+    /// ```
+    /// use rnb_core::{PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+    /// let planner = WritePlanner::new(
+    ///     PlacementStrategy::from_config(&RnbConfig::new(8, 2)),
+    ///     WritePolicy::WriteAll,
+    /// );
+    /// assert_eq!(planner.policy(), WritePolicy::WriteAll);
+    /// ```
     pub fn new(placement: P, policy: WritePolicy) -> Self {
         WritePlanner { placement, policy }
     }
@@ -85,6 +104,19 @@ impl<P: Placement> WritePlanner<P> {
     }
 
     /// Plan one item write.
+    ///
+    /// ```
+    /// use rnb_core::{PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+    /// let planner = WritePlanner::new(
+    ///     PlacementStrategy::from_config(&RnbConfig::new(16, 4)),
+    ///     WritePolicy::InvalidateThenWrite,
+    /// );
+    /// // §IV atomic scheme: delete the 3 extra replicas, then write the
+    /// // distinguished copy.
+    /// let plan = planner.plan_write(7);
+    /// assert_eq!(plan.invalidations.len(), 3);
+    /// assert_eq!(plan.writes.len(), 1);
+    /// ```
     pub fn plan_write(&self, item: ItemId) -> WritePlan {
         let replicas = self.placement.replicas(item);
         match self.policy {
@@ -119,6 +151,19 @@ impl<P: Placement> WritePlanner<P> {
     /// Plan a batch of writes, bundling same-server operations of the
     /// same kind into one transaction each (memcached pipelining; the
     /// delete→write ordering barrier is preserved per batch).
+    ///
+    /// ```
+    /// use rnb_core::{PlacementStrategy, RnbConfig, WritePlanner, WritePolicy};
+    /// let planner = WritePlanner::new(
+    ///     PlacementStrategy::from_config(&RnbConfig::new(16, 4)),
+    ///     WritePolicy::WriteAll,
+    /// );
+    /// let items: Vec<u64> = (0..50).collect();
+    /// let batch = planner.plan_write_batch(&items);
+    /// // Bundled: at most one write transaction per server, far fewer
+    /// // than the 200 unbatched per-replica sets.
+    /// assert!(batch.writes.len() <= 16);
+    /// ```
     pub fn plan_write_batch(&self, items: &[ItemId]) -> WritePlan {
         let mut distinct: Vec<ItemId> = items.to_vec();
         distinct.sort_unstable();

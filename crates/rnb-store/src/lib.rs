@@ -44,6 +44,6 @@ pub mod udp;
 pub use client::StoreClient;
 pub use clock::{Clock, RealClock, TestClock, Tick};
 pub use loadgen::{run_load, run_load_with_clock, LoadReport, LoadSpec};
-pub use server::StoreServer;
-pub use store::Store;
+pub use server::{serve_connection, ConnScratch, ServerConfig, StoreServer};
+pub use store::{GetScratch, Store};
 pub use udp::{UdpStoreClient, UdpStoreServer};

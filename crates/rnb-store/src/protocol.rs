@@ -4,6 +4,14 @@
 //! Reference: memcached's `doc/protocol.txt`. Requests are CRLF-terminated
 //! lines; `set` is followed by a data block of the declared length plus
 //! CRLF.
+//!
+//! Parsing is zero-copy: [`parse_command`] returns a [`Command`] that
+//! *borrows* the request line — keys are `&[u8]` slices into it, and a
+//! `get`'s key list is a [`GetKeys`] cursor rather than a
+//! `Vec<Vec<u8>>`. Paired with [`read_line_into`] /
+//! [`read_data_block_into`] reading into pooled buffers, a serving loop
+//! runs allocation-free at steady state (proven by the
+//! `zero_alloc_serve` integration test).
 
 // Wire-format module: every narrowing here changes what goes on the wire,
 // so lossy `as` casts are denied — use `try_from` and surface the error.
@@ -27,14 +35,79 @@ pub enum StoreVerb {
     Replace,
 }
 
-/// A parsed request line.
+/// The key list of a `get`/`gets`, borrowed from the request line.
+///
+/// Iterating yields each key as a `&[u8]` slice into the line;
+/// [`GetKeys::ranges`] yields the same tokens as `(start, end)` byte
+/// offsets into the line [`parse_command`] was given, so a serving loop
+/// can stash positions in a pooled `Vec<(usize, usize)>` and re-slice
+/// its own line buffer without copying any key bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct GetKeys<'a> {
+    /// Line text after the verb (possibly whitespace-led).
+    tail: &'a str,
+    /// Byte offset of `tail` within the original line.
+    base: usize,
+    /// Number of keys (precomputed during parse).
+    count: usize,
+}
+
+impl<'a> GetKeys<'a> {
+    /// Number of keys in the request.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if there are no keys ([`parse_command`] rejects that form,
+    /// but the type stands alone).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The keys, as slices borrowed from the request line.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u8]> + 'a {
+        self.tail.split_whitespace().map(str::as_bytes)
+    }
+
+    /// `(start, end)` byte offsets of each key within the line passed
+    /// to [`parse_command`].
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, usize)> + 'a {
+        let base = self.base;
+        let mut rest = self.tail;
+        let mut consumed = 0usize;
+        std::iter::from_fn(move || {
+            let trimmed = rest.trim_start();
+            consumed += rest.len() - trimmed.len();
+            rest = trimmed;
+            if rest.is_empty() {
+                return None;
+            }
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            let start = consumed;
+            consumed += end;
+            rest = &rest[end..];
+            Some((base + start, base + consumed))
+        })
+    }
+}
+
+impl PartialEq for GetKeys<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for GetKeys<'_> {}
+
+/// A parsed request line, borrowing from the line buffer it was parsed
+/// out of.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Command {
+pub enum Command<'a> {
     /// `get <key>+` / `gets <key>+` — multi-key get (one *transaction* in
     /// paper terms). `gets` additionally returns the CAS token.
     Get {
-        /// Requested keys.
-        keys: Vec<Vec<u8>>,
+        /// Requested keys (slices into the request line).
+        keys: GetKeys<'a>,
         /// True for `gets` (include CAS tokens in the reply).
         with_cas: bool,
     },
@@ -43,7 +116,7 @@ pub enum Command {
         /// Which conditional variant.
         verb: StoreVerb,
         /// Entry key.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// Opaque client flags.
         flags: u32,
         /// Expiry in seconds. Signed, per memcached: 0 = never, negative
@@ -59,7 +132,7 @@ pub enum Command {
     /// `cas <key> <flags> <exptime> <bytes> <cas> [noreply]`.
     Cas {
         /// Entry key.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// Opaque client flags.
         flags: u32,
         /// Expiry in seconds (0 = never, negative = already expired).
@@ -74,7 +147,7 @@ pub enum Command {
     /// `incr <key> <delta>` / `decr <key> <delta>`.
     Arith {
         /// Entry key.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// Unsigned delta.
         delta: u64,
         /// True for `decr`.
@@ -85,7 +158,7 @@ pub enum Command {
     /// `delete <key> [noreply]`.
     Delete {
         /// Entry key.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// Suppress the reply line.
         noreply: bool,
     },
@@ -100,28 +173,34 @@ pub enum Command {
 /// Maximum key length (memcached's limit).
 pub const MAX_KEY_LEN: usize = 250;
 
-/// Parse one request line (without the trailing CRLF).
-pub fn parse_command(line: &[u8]) -> Result<Command, String> {
+/// Parse one request line (without the trailing CRLF). The returned
+/// [`Command`] borrows `line`; nothing is copied.
+pub fn parse_command(line: &[u8]) -> Result<Command<'_>, String> {
     let text = std::str::from_utf8(line).map_err(|_| "non-utf8 command line".to_string())?;
     let mut parts = text.split_whitespace();
     let verb = parts.next().ok_or_else(|| "empty command".to_string())?;
     match verb {
         "get" | "gets" => {
-            let keys: Vec<Vec<u8>> = parts.map(|k| k.as_bytes().to_vec()).collect();
-            if keys.is_empty() {
+            // The verb is the first token, so `find` locates it exactly;
+            // everything after it is the key list.
+            let base = text.find(verb).unwrap_or(0) + verb.len();
+            let tail = &text[base..];
+            let mut count = 0usize;
+            for key in tail.split_whitespace() {
+                validate_key(key.as_bytes())?;
+                count += 1;
+            }
+            if count == 0 {
                 return Err("get requires at least one key".into());
             }
-            for k in &keys {
-                validate_key(k)?;
-            }
             Ok(Command::Get {
-                keys,
+                keys: GetKeys { tail, base, count },
                 with_cas: verb == "gets",
             })
         }
         "set" | "add" | "replace" | "cas" => {
-            let key = parts.next().ok_or("missing key")?.as_bytes().to_vec();
-            validate_key(&key)?;
+            let key = parts.next().ok_or("missing key")?.as_bytes();
+            validate_key(key)?;
             let flags: u32 = parts
                 .next()
                 .ok_or("missing flags")?
@@ -189,8 +268,8 @@ pub fn parse_command(line: &[u8]) -> Result<Command, String> {
             })
         }
         "incr" | "decr" => {
-            let key = parts.next().ok_or("missing key")?.as_bytes().to_vec();
-            validate_key(&key)?;
+            let key = parts.next().ok_or("missing key")?.as_bytes();
+            validate_key(key)?;
             let delta: u64 = parts
                 .next()
                 .ok_or("missing delta")?
@@ -209,12 +288,8 @@ pub fn parse_command(line: &[u8]) -> Result<Command, String> {
             })
         }
         "delete" => {
-            let key = parts
-                .next()
-                .ok_or("delete: missing key")?
-                .as_bytes()
-                .to_vec();
-            validate_key(&key)?;
+            let key = parts.next().ok_or("delete: missing key")?.as_bytes();
+            validate_key(key)?;
             let noreply = match parts.next() {
                 None => false,
                 Some("noreply") => true,
@@ -242,23 +317,41 @@ fn validate_key(key: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
-/// Read one CRLF (or bare-LF) terminated line. `Ok(None)` on clean EOF.
-pub fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut buf = Vec::with_capacity(64);
-    let n = reader.read_until(b'\n', &mut buf)?;
+/// Read one CRLF (or bare-LF) terminated line into `buf` (cleared
+/// first; the terminator is stripped). Returns the number of bytes
+/// consumed from the stream — terminator included — or `None` on clean
+/// EOF. Reusing `buf` keeps the steady-state read path allocation-free.
+pub fn read_line_into<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
+    buf.clear();
+    let n = reader.read_until(b'\n', buf)?;
     if n == 0 {
         return Ok(None);
     }
     while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
         buf.pop();
     }
-    Ok(Some(buf))
+    Ok(Some(n))
 }
 
-/// Read a `set` data block of `len` bytes plus its trailing CRLF.
-pub fn read_data_block<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
-    let mut data = vec![0u8; len];
-    reader.read_exact(&mut data)?;
+/// Read one CRLF (or bare-LF) terminated line. `Ok(None)` on clean EOF.
+///
+/// Allocating convenience form of [`read_line_into`].
+pub fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::with_capacity(64);
+    Ok(read_line_into(reader, &mut buf)?.map(|_| buf))
+}
+
+/// Read a `set` data block of `len` bytes plus its trailing CRLF into
+/// `buf` (cleared first). Returns the bytes consumed from the stream
+/// (`len + 2`).
+pub fn read_data_block_into<R: BufRead>(
+    reader: &mut R,
+    len: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<usize> {
+    buf.clear();
+    buf.resize(len, 0);
+    reader.read_exact(buf)?;
     let mut crlf = [0u8; 2];
     reader.read_exact(&mut crlf)?;
     if &crlf != b"\r\n" {
@@ -267,6 +360,15 @@ pub fn read_data_block<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec
             "data block not CRLF-terminated",
         ));
     }
+    Ok(len + 2)
+}
+
+/// Read a `set` data block of `len` bytes plus its trailing CRLF.
+///
+/// Allocating convenience form of [`read_data_block_into`].
+pub fn read_data_block<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut data = Vec::new();
+    read_data_block_into(reader, len, &mut data)?;
     Ok(data)
 }
 
@@ -320,18 +422,44 @@ pub mod reply {
 mod tests {
     use super::*;
 
+    fn keys_of(cmd: &Command<'_>) -> Vec<Vec<u8>> {
+        match cmd {
+            Command::Get { keys, .. } => keys.iter().map(<[u8]>::to_vec).collect(),
+            other => panic!("expected a get, got {other:?}"),
+        }
+    }
+
     #[test]
     fn parse_get_multi() {
         let cmd = parse_command(b"get a bb ccc").unwrap();
         assert_eq!(
+            keys_of(&cmd),
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]
+        );
+        assert!(matches!(
             cmd,
             Command::Get {
-                keys: vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()],
-                with_cas: false
+                with_cas: false,
+                ..
             }
-        );
+        ));
         let cmd = parse_command(b"gets a").unwrap();
         assert!(matches!(cmd, Command::Get { with_cas: true, .. }));
+    }
+
+    #[test]
+    fn get_keys_ranges_index_the_original_line() {
+        let line = b"get a bb  ccc";
+        let Command::Get { keys, .. } = parse_command(line).unwrap() else {
+            panic!("not a get");
+        };
+        assert_eq!(keys.len(), 3);
+        assert!(!keys.is_empty());
+        let ranges: Vec<(usize, usize)> = keys.ranges().collect();
+        assert_eq!(ranges, vec![(4, 5), (6, 8), (10, 13)]);
+        for ((s, e), key) in ranges.iter().zip(keys.iter()) {
+            assert_eq!(&line[*s..*e], key, "range and iter must agree");
+        }
     }
 
     #[test]
@@ -341,7 +469,7 @@ mod tests {
             cmd,
             Command::Set {
                 verb: StoreVerb::Set,
-                key: b"mykey".to_vec(),
+                key: b"mykey",
                 flags: 7,
                 exptime: 0,
                 bytes: 10,
@@ -361,7 +489,7 @@ mod tests {
             cmd,
             Command::Set {
                 verb: StoreVerb::Set,
-                key: b"mykey".to_vec(),
+                key: b"mykey",
                 flags: 7,
                 exptime: -1,
                 bytes: 10,
@@ -404,7 +532,7 @@ mod tests {
         assert_eq!(
             parse_command(b"cas k 1 0 5 42").unwrap(),
             Command::Cas {
-                key: b"k".to_vec(),
+                key: b"k",
                 flags: 1,
                 exptime: 0,
                 bytes: 5,
@@ -415,7 +543,7 @@ mod tests {
         assert_eq!(
             parse_command(b"incr n 3").unwrap(),
             Command::Arith {
-                key: b"n".to_vec(),
+                key: b"n",
                 delta: 3,
                 negative: false,
                 noreply: false
@@ -442,7 +570,7 @@ mod tests {
         assert_eq!(
             parse_command(b"delete k").unwrap(),
             Command::Delete {
-                key: b"k".to_vec(),
+                key: b"k",
                 noreply: false
             }
         );
@@ -479,11 +607,29 @@ mod tests {
     }
 
     #[test]
+    fn read_line_into_reports_wire_bytes() {
+        let mut cursor = io::Cursor::new(b"abc\r\ndef\nxyz".to_vec());
+        let mut buf = Vec::new();
+        assert_eq!(read_line_into(&mut cursor, &mut buf).unwrap(), Some(5));
+        assert_eq!(buf, b"abc");
+        assert_eq!(read_line_into(&mut cursor, &mut buf).unwrap(), Some(4));
+        assert_eq!(buf, b"def");
+        assert_eq!(read_line_into(&mut cursor, &mut buf).unwrap(), Some(3));
+        assert_eq!(buf, b"xyz");
+        assert_eq!(read_line_into(&mut cursor, &mut buf).unwrap(), None);
+        assert!(buf.is_empty(), "EOF clears the buffer");
+    }
+
+    #[test]
     fn data_block_roundtrip() {
         let mut cursor = io::Cursor::new(b"hello\r\n".to_vec());
         assert_eq!(read_data_block(&mut cursor, 5).unwrap(), b"hello".to_vec());
         let mut bad = io::Cursor::new(b"helloXY".to_vec());
         assert!(read_data_block(&mut bad, 5).is_err());
+        let mut cursor = io::Cursor::new(b"hello\r\n".to_vec());
+        let mut buf = Vec::new();
+        assert_eq!(read_data_block_into(&mut cursor, 5, &mut buf).unwrap(), 7);
+        assert_eq!(buf, b"hello");
     }
 
     mod fuzz {
@@ -518,6 +664,35 @@ mod tests {
                 let incr_ok =
                     matches!(parse_command(incr.as_bytes()), Ok(Command::Arith { .. }));
                 prop_assert!(incr_ok);
+            }
+
+            /// Get key lists of any shape: ranges() re-slices the line to
+            /// exactly the keys iter() yields, in order.
+            #[test]
+            fn get_ranges_agree_with_iter(
+                keys in proptest::collection::vec("[a-zA-Z0-9_.-]{1,20}", 1..12),
+                pad in proptest::collection::vec(0usize..3, 1..13),
+            ) {
+                let mut line = String::from("get");
+                for (i, k) in keys.iter().enumerate() {
+                    let spaces = 1 + pad.get(i).copied().unwrap_or(0);
+                    for _ in 0..spaces {
+                        line.push(' ');
+                    }
+                    line.push_str(k);
+                }
+                let parsed = parse_command(line.as_bytes()).unwrap();
+                let Command::Get { keys: got, .. } = parsed else {
+                    panic!("not a get");
+                };
+                prop_assert_eq!(got.len(), keys.len());
+                let by_iter: Vec<&[u8]> = got.iter().collect();
+                let by_range: Vec<&[u8]> =
+                    got.ranges().map(|(s, e)| &line.as_bytes()[s..e]).collect();
+                prop_assert_eq!(&by_iter, &by_range);
+                for (want, have) in keys.iter().zip(by_iter) {
+                    prop_assert_eq!(want.as_bytes(), have);
+                }
             }
 
             /// Binary values of any content survive a write_value/read

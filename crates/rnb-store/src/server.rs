@@ -1,15 +1,82 @@
-//! Threaded TCP server speaking the memcached text protocol.
+//! TCP server speaking the memcached text protocol.
+//!
+//! Architecture (see README "Serving path architecture"): a single
+//! accept thread feeds a **bounded queue** of connections to a **fixed
+//! worker pool**. Each worker owns one [`ConnScratch`] — line buffer,
+//! data buffer, key ranges, multi-get scratch, and response buffer — so
+//! the per-request command loop ([`serve_connection`]) is
+//! allocation-free at steady state (proven by the `zero_alloc_serve`
+//! integration test). Each request is answered with one `write_all`.
 
 use crate::protocol::{self, reply, Command, StoreVerb};
-use crate::shard::{ArithOutcome, CasOutcome, SetOutcome};
-use crate::store::Store;
+use crate::shard::{ArithOutcome, CasOutcome, SetOutcome, Value};
+use crate::store::{GetScratch, Store};
 use parking_lot::Mutex;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// What the accept thread hands a worker: the connection's registry id
+/// plus its stream.
+type AcceptedConn = (u64, TcpStream);
+
+/// Tuning knobs for [`StoreServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections. Each worker owns its scratch
+    /// buffers and serves one connection at a time.
+    pub workers: usize,
+    /// Bound of the accept queue; the accept thread blocks (and the OS
+    /// listen backlog takes over) when this many connections await a
+    /// worker.
+    pub accept_backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // At least 4 workers even on small machines: tests (and the
+        // paper's load generator) hold several concurrent connections.
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ServerConfig {
+            workers: cpus.max(4),
+            accept_backlog: 64,
+        }
+    }
+}
+
+/// Live-connection registry: the accept thread registers a clone of
+/// every stream (keyed by connection id), workers deregister when the
+/// connection finishes, and shutdown severs whatever is left. Pruning on
+/// deregistration keeps the list bounded by the number of *live*
+/// connections — the seed version only ever grew.
+#[derive(Default)]
+struct ConnRegistry {
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, id: u64, stream: TcpStream) {
+        self.conns.lock().push((id, stream));
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().retain(|(cid, _)| *cid != id);
+    }
+
+    fn sever_all(&self) {
+        for (_, conn) in self.conns.lock().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.conns.lock().len()
+    }
+}
 
 /// A running store server. Dropping the handle shuts the server down,
 /// severing live connections (so tests can inject server failures).
@@ -18,44 +85,81 @@ pub struct StoreServer {
     store: Arc<Store>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<ConnRegistry>,
 }
 
 impl StoreServer {
     /// Start a server for `store` on a loopback port chosen by the OS.
-    pub fn start(store: Arc<Store>) -> std::io::Result<StoreServer> {
-        Self::start_on(store, 0)
+    pub fn start(store: Arc<Store>) -> io::Result<StoreServer> {
+        Self::start_with(store, 0, ServerConfig::default())
     }
 
     /// Start on a specific loopback port (0 = OS-chosen).
-    pub fn start_on(store: Arc<Store>, port: u16) -> std::io::Result<StoreServer> {
+    pub fn start_on(store: Arc<Store>, port: u16) -> io::Result<StoreServer> {
+        Self::start_with(store, port, ServerConfig::default())
+    }
+
+    /// Start with explicit [`ServerConfig`] knobs.
+    pub fn start_with(
+        store: Arc<Store>,
+        port: u16,
+        config: ServerConfig,
+    ) -> io::Result<StoreServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(ConnRegistry::default());
 
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx): (SyncSender<AcceptedConn>, Receiver<AcceptedConn>) =
+            sync_channel(config.accept_backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
 
-        let accept_store = Arc::clone(&store);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let store = Arc::clone(&store);
+                let registry = Arc::clone(&registry);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    let mut scratch = ConnScratch::new();
+                    loop {
+                        // Hold the receiver lock only while waiting for
+                        // the next connection, never while serving one.
+                        let next = { rx.lock().recv() };
+                        let Ok((id, stream)) = next else { break };
+                        if !shutdown.load(Ordering::SeqCst) {
+                            let _ = serve_stream(&store, stream, &mut scratch);
+                        }
+                        registry.deregister(id);
+                    }
+                })
+            })
+            .collect();
+
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_conns = Arc::clone(&conns);
+        let accept_registry = Arc::clone(&registry);
         let accept_thread = std::thread::spawn(move || {
+            let mut next_id: u64 = 0;
             for conn in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match conn {
                     Ok(stream) => {
+                        let id = next_id;
+                        next_id += 1;
                         if let Ok(clone) = stream.try_clone() {
-                            accept_conns.lock().push(clone);
+                            accept_registry.register(id, clone);
                         }
-                        let store = Arc::clone(&accept_store);
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &store);
-                        });
+                        if tx.send((id, stream)).is_err() {
+                            break;
+                        }
                     }
                     Err(_) => break,
                 }
             }
+            // `tx` drops here: workers drain the queue, then exit.
         });
 
         Ok(StoreServer {
@@ -63,7 +167,8 @@ impl StoreServer {
             store,
             shutdown,
             accept_thread: Some(accept_thread),
-            conns,
+            workers,
+            registry,
         })
     }
 
@@ -77,21 +182,34 @@ impl StoreServer {
         &self.store
     }
 
+    /// Connections currently registered (live or queued). Bounded by the
+    /// churn the workers have not yet retired; returns to zero once all
+    /// clients disconnect.
+    pub fn live_connections(&self) -> usize {
+        self.registry.len()
+    }
+
     /// Stop accepting connections, sever every live connection, and join
-    /// the accept thread. Clients with open connections observe I/O
-    /// errors on their next operation — a crashed server, from their
-    /// point of view.
+    /// the accept thread and workers. Clients with open connections
+    /// observe I/O errors on their next operation — a crashed server,
+    /// from their point of view.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Severing live connections errors out any worker mid-serve, so
+        // the queue keeps draining even if it was full.
+        self.registry.sever_all();
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for conn in self.conns.lock().drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
+        // Connections accepted between the first sweep and the listener
+        // closing (the dummy included) get severed too.
+        self.registry.sever_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -113,26 +231,97 @@ fn ttl_of(exptime: i64) -> Option<Duration> {
     }
 }
 
-fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
+/// Per-connection (worker-owned, connection-reused) buffers for
+/// [`serve_connection`]. Everything grows to the connection's
+/// steady-state sizes and is then reused verbatim — the command loop
+/// performs no allocation once warm.
+#[derive(Debug, Default)]
+pub struct ConnScratch {
+    /// Current request line (without CRLF).
+    line: Vec<u8>,
+    /// Current `set`/`cas` data block.
+    data: Vec<u8>,
+    /// `(start, end)` offsets of each get key within `line`.
+    key_ranges: Vec<(usize, usize)>,
+    /// Shard-batching scratch for the multi-get.
+    get: GetScratch,
+    /// Multi-get results, in request key order.
+    values: Vec<Option<Value>>,
+    /// Assembled response; one `write_all` per request.
+    response: Vec<u8>,
+}
+
+impl ConnScratch {
+    /// Fresh scratch; buffers size themselves on first use.
+    pub const fn new() -> Self {
+        ConnScratch {
+            line: Vec::new(),
+            data: Vec::new(),
+            key_ranges: Vec::new(),
+            get: GetScratch::new(),
+            values: Vec::new(),
+            response: Vec::new(),
+        }
+    }
+}
+
+fn serve_stream(store: &Store, stream: TcpStream, scratch: &mut ConnScratch) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = stream;
+    serve_connection(store, &mut reader, &mut writer, scratch)
+}
 
-    while let Some(line) = protocol::read_line(&mut reader)? {
+/// The command loop for one connection: read a line, execute, answer
+/// with a single `write_all`. Public (and generic over the transport) so
+/// the zero-allocation test can drive it over in-memory buffers.
+pub fn serve_connection<R: BufRead, W: Write>(
+    store: &Store,
+    reader: &mut R,
+    writer: &mut W,
+    scratch: &mut ConnScratch,
+) -> io::Result<()> {
+    let ConnScratch {
+        line,
+        data,
+        key_ranges,
+        get,
+        values,
+        response,
+    } = scratch;
+    let stats = store.raw_stats();
+
+    while let Some(line_bytes) = protocol::read_line_into(reader, line)? {
+        let mut bytes_read = line_bytes as u64;
+        response.clear();
+        let mut quit = false;
         if line.is_empty() {
+            stats.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
             continue;
         }
-        match protocol::parse_command(&line) {
+        match protocol::parse_command(line) {
             Ok(Command::Get { keys, with_cas }) => {
-                let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-                let values = store.get_multi(&refs);
-                for (key, value) in keys.iter().zip(values) {
+                key_ranges.clear();
+                key_ranges.extend(keys.ranges());
+                store.get_multi_with(
+                    get,
+                    key_ranges.len(),
+                    |i| {
+                        let (s, e) = key_ranges[i];
+                        &line[s..e]
+                    },
+                    values,
+                );
+                for (&(s, e), value) in key_ranges.iter().zip(values.iter()) {
                     if let Some(v) = value {
                         let cas = with_cas.then_some(v.cas);
-                        protocol::write_value(&mut writer, key, v.flags, &v.data, cas)?;
+                        protocol::write_value(response, &line[s..e], v.flags, &v.data, cas)?;
                     }
                 }
-                protocol::write_end(&mut writer)?;
+                protocol::write_end(response)?;
+                // Drop the value Arcs now: a later same-length `set` can
+                // then overwrite in place instead of reallocating.
+                values.clear();
             }
             Ok(Command::Set {
                 verb,
@@ -142,19 +331,19 @@ fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
                 bytes,
                 noreply,
             }) => {
-                let data = protocol::read_data_block(&mut reader, bytes)?;
+                bytes_read += protocol::read_data_block_into(reader, bytes, data)? as u64;
                 let ttl = ttl_of(exptime);
                 let outcome = match verb {
-                    StoreVerb::Set => Some(store.set_with_ttl(&key, &data, flags, false, ttl)),
-                    StoreVerb::Add => store.add(&key, &data, flags, ttl),
-                    StoreVerb::Replace => store.replace(&key, &data, flags, ttl),
+                    StoreVerb::Set => Some(store.set_with_ttl(key, data, flags, false, ttl)),
+                    StoreVerb::Add => store.add(key, data, flags, ttl),
+                    StoreVerb::Replace => store.replace(key, data, flags, ttl),
                 };
                 if !noreply {
-                    match outcome {
-                        Some(SetOutcome::Stored { .. }) => writer.write_all(reply::STORED)?,
-                        Some(SetOutcome::OutOfMemory) => writer.write_all(reply::OOM)?,
-                        None => writer.write_all(reply::NOT_STORED)?,
-                    }
+                    response.extend_from_slice(match outcome {
+                        Some(SetOutcome::Stored { .. }) => reply::STORED,
+                        Some(SetOutcome::OutOfMemory) => reply::OOM,
+                        None => reply::NOT_STORED,
+                    });
                 }
             }
             Ok(Command::Cas {
@@ -165,15 +354,15 @@ fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
                 cas,
                 noreply,
             }) => {
-                let data = protocol::read_data_block(&mut reader, bytes)?;
-                let outcome = store.cas(&key, &data, flags, cas, ttl_of(exptime));
+                bytes_read += protocol::read_data_block_into(reader, bytes, data)? as u64;
+                let outcome = store.cas(key, data, flags, cas, ttl_of(exptime));
                 if !noreply {
-                    match outcome {
-                        CasOutcome::Stored => writer.write_all(reply::STORED)?,
-                        CasOutcome::Exists => writer.write_all(reply::EXISTS)?,
-                        CasOutcome::NotFound => writer.write_all(reply::NOT_FOUND)?,
-                        CasOutcome::OutOfMemory => writer.write_all(reply::OOM)?,
-                    }
+                    response.extend_from_slice(match outcome {
+                        CasOutcome::Stored => reply::STORED,
+                        CasOutcome::Exists => reply::EXISTS,
+                        CasOutcome::NotFound => reply::NOT_FOUND,
+                        CasOutcome::OutOfMemory => reply::OOM,
+                    });
                 }
             }
             Ok(Command::Arith {
@@ -182,38 +371,48 @@ fn handle_connection(stream: TcpStream, store: &Store) -> std::io::Result<()> {
                 negative,
                 noreply,
             }) => {
-                let outcome = store.arith(&key, delta, negative);
+                let outcome = store.arith(key, delta, negative);
                 if !noreply {
                     match outcome {
-                        ArithOutcome::Value(v) => write!(writer, "{v}\r\n")?,
-                        ArithOutcome::NotFound => writer.write_all(reply::NOT_FOUND)?,
-                        ArithOutcome::NonNumeric => writer.write_all(reply::NON_NUMERIC)?,
+                        ArithOutcome::Value(v) => write!(response, "{v}\r\n")?,
+                        ArithOutcome::NotFound => response.extend_from_slice(reply::NOT_FOUND),
+                        ArithOutcome::NonNumeric => response.extend_from_slice(reply::NON_NUMERIC),
                     }
                 }
             }
             Ok(Command::Delete { key, noreply }) => {
-                let deleted = store.delete(&key);
+                let deleted = store.delete(key);
                 if !noreply {
-                    writer.write_all(if deleted {
+                    response.extend_from_slice(if deleted {
                         reply::DELETED
                     } else {
                         reply::NOT_FOUND
-                    })?;
+                    });
                 }
             }
             Ok(Command::Stats) => {
                 for (name, value) in store.stats().stat_lines() {
-                    write!(writer, "STAT {name} {value}\r\n")?;
+                    write!(response, "STAT {name} {value}\r\n")?;
                 }
-                protocol::write_end(&mut writer)?;
+                protocol::write_end(response)?;
             }
-            Ok(Command::Version) => writer.write_all(reply::VERSION)?,
-            Ok(Command::Quit) => break,
+            Ok(Command::Version) => response.extend_from_slice(reply::VERSION),
+            Ok(Command::Quit) => quit = true,
             Err(msg) => {
-                write!(writer, "CLIENT_ERROR {msg}\r\n")?;
+                write!(response, "CLIENT_ERROR {msg}\r\n")?;
             }
         }
-        writer.flush()?;
+        stats.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        if !response.is_empty() {
+            writer.write_all(response)?;
+            writer.flush()?;
+            stats
+                .bytes_written
+                .fetch_add(response.len() as u64, Ordering::Relaxed);
+        }
+        if quit {
+            break;
+        }
     }
     Ok(())
 }
@@ -269,6 +468,13 @@ mod tests {
         assert_eq!(stats.get("cmd_set").map(String::as_str), Some("1"));
         assert_eq!(stats.get("get_hits").map(String::as_str), Some("1"));
         assert_eq!(stats.get("curr_items").map(String::as_str), Some("1"));
+        // Wire accounting: the set + get already crossed the socket.
+        let read: u64 = stats.get("bytes_read").unwrap().parse().unwrap();
+        let written: u64 = stats.get("bytes_written").unwrap().parse().unwrap();
+        assert!(read > 0, "bytes_read not counted");
+        assert!(written > 0, "bytes_written not counted");
+        // The single-key get landed in the first histogram bucket.
+        assert_eq!(stats.get("get_batch_le_1").map(String::as_str), Some("1"));
     }
 
     #[test]
@@ -342,8 +548,8 @@ mod tests {
 
     #[test]
     fn exptime_over_tcp() {
-        // The server's connection threads read the same TestClock the
-        // test holds, so TTL expiry over TCP needs no real waiting.
+        // The server's worker threads read the same TestClock the test
+        // holds, so TTL expiry over TCP needs no real waiting.
         let clock = TestClock::new();
         let store = Arc::new(Store::with_clock(1 << 22, 16, clock.clone().into()));
         let server = StoreServer::start(store).unwrap();
@@ -395,6 +601,71 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(server.store().len(), 400);
+    }
+
+    #[test]
+    fn pipelined_commands_in_one_segment() {
+        // Several commands in a single TCP write: the loop must consume
+        // them back-to-back from the buffered reader and answer each.
+        use std::io::Read;
+        let (server, _client) = start();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"set a 0 0 1\r\nx\r\nget a\r\nversion\r\nquit\r\n")
+            .unwrap();
+        let mut got = Vec::new();
+        raw.read_to_end(&mut got).unwrap();
+        let text = String::from_utf8(got).unwrap();
+        assert_eq!(
+            text,
+            "STORED\r\nVALUE a 0 1\r\nx\r\nEND\r\nVERSION rnb-store 0.1.0\r\n"
+        );
+    }
+
+    #[test]
+    fn single_worker_serves_sequential_clients() {
+        let server = StoreServer::start_with(
+            Arc::new(Store::new(1 << 20)),
+            0,
+            ServerConfig {
+                workers: 1,
+                accept_backlog: 4,
+            },
+        )
+        .unwrap();
+        for round in 0..3u32 {
+            let mut client = StoreClient::connect(server.addr()).unwrap();
+            let key = format!("r{round}");
+            client.set(key.as_bytes(), b"v", 0).unwrap();
+            assert!(client.get_multi(&[key.as_bytes()]).unwrap()[0].is_some());
+        }
+        assert_eq!(server.store().len(), 3);
+    }
+
+    #[test]
+    fn connection_churn_leaves_registry_bounded() {
+        // Regression for the conns leak: 100 connect/disconnect cycles
+        // must not accumulate dead entries.
+        let server = StoreServer::start(Arc::new(Store::new(1 << 20))).unwrap();
+        for i in 0..100u32 {
+            let mut client = StoreClient::connect(server.addr()).unwrap();
+            let key = format!("churn-{i}");
+            client.set(key.as_bytes(), b"v", 0).unwrap();
+            drop(client);
+        }
+        // Workers deregister asynchronously after the client side closes;
+        // poll (bounded, no sleeping) until the registry drains.
+        let mut polls = 0u64;
+        while server.live_connections() > 0 {
+            polls += 1;
+            assert!(
+                polls < 50_000_000,
+                "registry never drained: {} connections still registered",
+                server.live_connections()
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(server.live_connections(), 0);
+        assert_eq!(server.store().len(), 100, "every churn cycle stored once");
     }
 
     #[test]

@@ -7,13 +7,29 @@
 //! behaviour is fully deterministic under a
 //! [`TestClock`](crate::clock::TestClock) and the xtask R2 lint keeps
 //! this file wall-clock-free.
+//!
+//! Lookups go through [`KeyIndex`], an open-addressed slot index keyed by
+//! a precomputed xxh64 of the key. The same hash the parent
+//! [`Store`](crate::Store) computes to route a key to a shard is reused
+//! for the in-shard probe, so the batched read path
+//! ([`Shard::get_many`]) hashes every key exactly once end to end.
 
 use crate::clock::{duration_to_ticks, Clock, Tick};
-use std::collections::HashMap;
+use rnb_hash::xxhash::xxh64;
 use std::sync::Arc;
 use std::time::Duration;
 
 const NIL: usize = usize::MAX;
+
+/// Seed for key hashing. Chosen once; must differ from placement seeds so
+/// shard choice does not correlate with RnB server choice in tests.
+pub(crate) const KEY_HASH_SEED: u64 = 0x5348_4152_4421;
+
+/// The one hash every key pays: the store's shard selection *and* the
+/// in-shard index probe both consume this value.
+pub(crate) fn key_hash(key: &[u8]) -> u64 {
+    xxh64(key, KEY_HASH_SEED)
+}
 
 /// Fixed bookkeeping cost charged per entry on top of key/value bytes
 /// (hash-table slot, list links, refcount — memcached charges ~50–60
@@ -74,6 +90,9 @@ pub struct Value {
 struct Node {
     key: Box<[u8]>,
     value: Arc<[u8]>,
+    /// [`key_hash`] of `key`, stored so probes compare 8 bytes before
+    /// touching key bytes and rehashes never recompute.
+    hash: u64,
     flags: u32,
     cas: u64,
     expires_at: Option<Tick>,
@@ -88,12 +107,160 @@ impl Node {
     }
 }
 
+/// Bucket value: no entry here, probe chains may stop.
+const EMPTY: usize = 0;
+/// Bucket value: an entry was removed here, probe chains continue.
+const TOMB: usize = 1;
+/// Multiplier spreading the stored hash across bucket space (Fibonacci
+/// hashing). Needed because all keys in one shard share their low hash
+/// bits (the parent store routed them here by `hash & shard_mask`), so
+/// raw low bits would cluster pathologically.
+const SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn probe_start(hash: u64, mask: usize) -> usize {
+    // The multiply-shift keeps only well-mixed upper product bits, which
+    // shards do not share.
+    ((hash.wrapping_mul(SPREAD) >> 32) as usize) & mask
+}
+
+/// Open-addressed (linear-probe, tombstone) index from key hash to node
+/// slot: the map half of the classic "hash table + intrusive LRU list"
+/// pair. The hash is computed by the caller exactly once and stored in
+/// the node, which is what lets [`Shard::get_many`] skip per-key
+/// rehashing entirely.
+#[derive(Debug, Default)]
+struct KeyIndex {
+    /// `EMPTY`, `TOMB`, or `slot + 2`. Length is a power of two (or zero
+    /// before the first insert); at least one bucket is always `EMPTY`,
+    /// so probe loops terminate.
+    buckets: Vec<usize>,
+    /// Live entries.
+    live: usize,
+    /// Tombstones left by removals (cleared on rehash).
+    tombs: usize,
+}
+
+impl KeyIndex {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Find the node slot holding `key` (whose [`key_hash`] is `hash`).
+    fn find(&self, hash: u64, key: &[u8], nodes: &[Node]) -> Option<usize> {
+        if self.live == 0 {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = probe_start(hash, mask);
+        loop {
+            match self.buckets[i] {
+                EMPTY => return None,
+                TOMB => {}
+                v => {
+                    let slot = v - 2;
+                    if nodes[slot].hash == hash && *nodes[slot].key == *key {
+                        return Some(slot);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `slot` under `hash`. The key must be absent — callers
+    /// always [`find`](KeyIndex::find) first; a duplicate insert would
+    /// shadow the existing entry.
+    fn insert(&mut self, hash: u64, slot: usize, nodes: &[Node]) {
+        self.maybe_grow(nodes);
+        let mask = self.buckets.len() - 1;
+        let mut i = probe_start(hash, mask);
+        loop {
+            match self.buckets[i] {
+                EMPTY => {
+                    self.buckets[i] = slot + 2;
+                    self.live += 1;
+                    return;
+                }
+                TOMB => {
+                    self.buckets[i] = slot + 2;
+                    self.tombs -= 1;
+                    self.live += 1;
+                    return;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Remove the bucket pointing at `slot` (`hash` is the node's stored
+    /// hash, so the probe starts on the right chain).
+    fn remove_slot(&mut self, hash: u64, slot: usize) {
+        if self.buckets.is_empty() {
+            return;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = probe_start(hash, mask);
+        loop {
+            match self.buckets[i] {
+                EMPTY => {
+                    debug_assert!(false, "KeyIndex: removed slot not on its probe chain");
+                    return;
+                }
+                v if v == slot + 2 => {
+                    self.buckets[i] = TOMB;
+                    self.live -= 1;
+                    self.tombs += 1;
+                    return;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Iterate the node slots of every live entry (arbitrary order).
+    fn slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.buckets.iter().filter_map(|&v| v.checked_sub(2))
+    }
+
+    /// Grow/rehash so at least one bucket stays `EMPTY` and probe chains
+    /// stay short: rebuild once occupancy (live + tombstones) reaches
+    /// 7/8, sizing so live load lands at ≤ 3/4.
+    fn maybe_grow(&mut self, nodes: &[Node]) {
+        let cap = self.buckets.len();
+        if cap == 0 {
+            self.buckets = vec![EMPTY; 8];
+            return;
+        }
+        if (self.live + self.tombs + 1) * 8 <= cap * 7 {
+            return;
+        }
+        let mut new_cap = cap;
+        while (self.live + 1) * 4 > new_cap * 3 {
+            new_cap *= 2;
+        }
+        let mask = new_cap - 1;
+        let mut fresh = vec![EMPTY; new_cap];
+        for &v in &self.buckets {
+            let Some(slot) = v.checked_sub(2) else {
+                continue;
+            };
+            let mut i = probe_start(nodes[slot].hash, mask);
+            while fresh[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            fresh[i] = v;
+        }
+        self.buckets = fresh;
+        self.tombs = 0;
+    }
+}
+
 /// A single-threaded LRU hash table with a byte budget. Pinned entries
 /// never appear on the LRU list and are never evicted (they back RnB's
 /// distinguished copies).
 #[derive(Debug)]
 pub struct Shard {
-    map: HashMap<Box<[u8]>, usize>,
+    index: KeyIndex,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize,
@@ -124,7 +291,7 @@ impl Shard {
     /// expiry deterministically.
     pub fn with_clock(mem_limit: usize, clock: Clock) -> Self {
         Shard {
-            map: HashMap::new(),
+            index: KeyIndex::default(),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -141,12 +308,12 @@ impl Shard {
     /// [`sweep_expired`](Shard::sweep_expired) or memory pressure
     /// reclaims them).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// True if no entry is resident.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.len() == 0
     }
 
     /// Bytes accounted as used.
@@ -159,13 +326,13 @@ impl Shard {
         self.mem_limit
     }
 
-    /// Look up `key`, promoting unpinned hits to most-recently-used.
-    /// Expired entries are removed lazily and report as misses.
-    pub fn get(&mut self, key: &[u8]) -> Option<Value> {
-        let now = self.clock.now();
-        let &idx = self.map.get(key)?;
+    /// Single-key lookup step shared by [`get`](Shard::get) and
+    /// [`get_many`](Shard::get_many): resolve, lazily expire, promote
+    /// unpinned hits, clone the value out.
+    fn get_at(&mut self, hash: u64, key: &[u8], now: Tick) -> Option<Value> {
+        let idx = self.index.find(hash, key, &self.nodes)?;
         if self.nodes[idx].expired(now) {
-            self.delete(key);
+            self.remove_slot(idx);
             return None;
         }
         if !self.nodes[idx].pinned {
@@ -179,13 +346,42 @@ impl Shard {
         })
     }
 
+    /// Look up `key`, promoting unpinned hits to most-recently-used.
+    /// Expired entries are removed lazily and report as misses.
+    pub fn get(&mut self, key: &[u8]) -> Option<Value> {
+        let now = self.clock.now();
+        self.get_at(key_hash(key), key, now)
+    }
+
+    /// Batched lookup: one clock read and one pass for the whole batch,
+    /// writing each result to `out[pos]` for its `(hash, key, pos)`
+    /// triple. `hash` must be [`key_hash`] of `key` — the store passes
+    /// the value it already computed for shard routing, so the batch
+    /// path hashes each key once in total. Positions outside `out` are
+    /// ignored. Returns the number of hits.
+    pub(crate) fn get_many<'k, I>(&mut self, batch: I, out: &mut [Option<Value>]) -> usize
+    where
+        I: IntoIterator<Item = (u64, &'k [u8], usize)>,
+    {
+        let now = self.clock.now();
+        let mut hits = 0;
+        for (hash, key, pos) in batch {
+            let value = self.get_at(hash, key, now);
+            hits += usize::from(value.is_some());
+            if let Some(out_slot) = out.get_mut(pos) {
+                *out_slot = value;
+            }
+        }
+        hits
+    }
+
     /// Presence probe without LRU promotion (expired entries report
     /// absent but are left for lazy removal).
     pub fn contains(&self, key: &[u8]) -> bool {
         let now = self.clock.now();
-        self.map
-            .get(key)
-            .is_some_and(|&idx| !self.nodes[idx].expired(now))
+        self.index
+            .find(key_hash(key), key, &self.nodes)
+            .is_some_and(|idx| !self.nodes[idx].expired(now))
     }
 
     /// Store `key` → `value`, evicting LRU entries as needed.
@@ -205,21 +401,22 @@ impl Shard {
         ttl: Option<Duration>,
     ) -> SetOutcome {
         let now = self.clock.now();
+        let hash = key_hash(key);
         let new_cost = entry_cost(key, value);
         let expires_at = ttl.map(|d| now.saturating_add(duration_to_ticks(d)));
 
         // An expired entry under this key is reclaimed up front, so the
         // overwrite path below only ever sees live entries and the store
         // behaves exactly as if the entry had already been swept.
-        if self
-            .map
-            .get(key)
-            .is_some_and(|&idx| self.nodes[idx].expired(now))
-        {
-            self.delete(key);
+        let mut existing = self.index.find(hash, key, &self.nodes);
+        if let Some(idx) = existing {
+            if self.nodes[idx].expired(now) {
+                self.remove_slot(idx);
+                existing = None;
+            }
         }
 
-        if let Some(&idx) = self.map.get(key) {
+        if let Some(idx) = existing {
             // Overwrite. Fit check: everything except this entry and other
             // pinned entries is evictable; expired entries are reclaimed
             // before concluding the write cannot fit.
@@ -236,11 +433,19 @@ impl Shard {
                 self.unlink(idx);
             }
             self.cas_counter += 1;
-            self.nodes[idx].value = Arc::from(value);
-            self.nodes[idx].flags = flags;
-            self.nodes[idx].pinned = pinned;
-            self.nodes[idx].cas = self.cas_counter;
-            self.nodes[idx].expires_at = expires_at;
+            let node = &mut self.nodes[idx];
+            // Same-length overwrite with no outstanding Value clones can
+            // reuse the allocation in place — this keeps a steady-state
+            // `set` loop allocation-free. Outstanding clones force a
+            // fresh Arc (they must keep observing the old bytes).
+            match Arc::get_mut(&mut node.value) {
+                Some(buf) if buf.len() == value.len() => buf.copy_from_slice(value),
+                _ => node.value = Arc::from(value),
+            }
+            node.flags = flags;
+            node.pinned = pinned;
+            node.cas = self.cas_counter;
+            node.expires_at = expires_at;
             if !pinned {
                 self.unpinned_bytes += new_cost;
                 self.push_front(idx);
@@ -262,6 +467,7 @@ impl Shard {
         let idx = self.alloc(Node {
             key: Box::from(key),
             value: Arc::from(value),
+            hash,
             flags,
             cas: self.cas_counter,
             expires_at,
@@ -269,7 +475,7 @@ impl Shard {
             prev: NIL,
             next: NIL,
         });
-        self.map.insert(Box::from(key), idx);
+        self.index.insert(hash, idx, &self.nodes);
         self.mem_used += new_cost;
         if !pinned {
             self.unpinned_bytes += new_cost;
@@ -318,9 +524,9 @@ impl Shard {
         }
         // Preserve the pinned status on replace.
         let pinned = self
-            .map
-            .get(key)
-            .map(|&idx| self.nodes[idx].pinned)
+            .index
+            .find(key_hash(key), key, &self.nodes)
+            .map(|idx| self.nodes[idx].pinned)
             .unwrap_or(false);
         Some(self.set_full(key, value, flags, pinned, ttl))
     }
@@ -335,13 +541,13 @@ impl Shard {
         ttl: Option<Duration>,
     ) -> CasOutcome {
         let now = self.clock.now();
-        match self.map.get(key) {
+        match self.index.find(key_hash(key), key, &self.nodes) {
             None => CasOutcome::NotFound,
-            Some(&idx) if self.nodes[idx].expired(now) => {
-                self.delete(key);
+            Some(idx) if self.nodes[idx].expired(now) => {
+                self.remove_slot(idx);
                 CasOutcome::NotFound
             }
-            Some(&idx) => {
+            Some(idx) => {
                 if self.nodes[idx].cas != token {
                     return CasOutcome::Exists;
                 }
@@ -375,16 +581,15 @@ impl Shard {
         };
         let rendered = next.to_string();
         let now = self.clock.now();
-        let pinned = self
-            .map
-            .get(key)
-            .map(|&idx| self.nodes[idx].pinned)
-            .unwrap_or(false);
-        let ttl_left = self.map.get(key).and_then(|&idx| {
-            self.nodes[idx]
-                .expires_at
-                .map(|t| Duration::from_nanos(t.saturating_sub(now)))
-        });
+        let (pinned, ttl_left) = match self.index.find(key_hash(key), key, &self.nodes) {
+            Some(idx) => (
+                self.nodes[idx].pinned,
+                self.nodes[idx]
+                    .expires_at
+                    .map(|t| Duration::from_nanos(t.saturating_sub(now))),
+            ),
+            None => (false, None),
+        };
         match self.set_full(key, rendered.as_bytes(), current.flags, pinned, ttl_left) {
             SetOutcome::Stored { .. } => ArithOutcome::Value(next),
             // A numeric value is never larger than what it replaces by
@@ -395,19 +600,26 @@ impl Shard {
 
     /// Delete `key`; true if it was present.
     pub fn delete(&mut self, key: &[u8]) -> bool {
-        match self.map.remove(key) {
+        match self.index.find(key_hash(key), key, &self.nodes) {
             Some(idx) => {
-                let cost = entry_cost(&self.nodes[idx].key, &self.nodes[idx].value);
-                self.mem_used -= cost;
-                if !self.nodes[idx].pinned {
-                    self.unpinned_bytes -= cost;
-                    self.unlink(idx);
-                }
-                self.release(idx);
+                self.remove_slot(idx);
                 true
             }
             None => false,
         }
+    }
+
+    /// Drop slot `idx` entirely: index entry, byte accounting, LRU
+    /// membership, node storage.
+    fn remove_slot(&mut self, idx: usize) {
+        self.index.remove_slot(self.nodes[idx].hash, idx);
+        let cost = entry_cost(&self.nodes[idx].key, &self.nodes[idx].value);
+        self.mem_used -= cost;
+        if !self.nodes[idx].pinned {
+            self.unpinned_bytes -= cost;
+            self.unlink(idx);
+        }
+        self.release(idx);
     }
 
     /// Eagerly reclaim every expired entry — pinned ones included, which
@@ -424,14 +636,13 @@ impl Shard {
     /// carry a zero TTL, and eviction must never drop the entry being
     /// stored.
     fn sweep_expired_except(&mut self, now: Tick, protect: usize) -> usize {
-        let expired: Vec<Box<[u8]>> = self
-            .map
-            .iter()
-            .filter(|&(_, &idx)| idx != protect && self.nodes[idx].expired(now))
-            .map(|(key, _)| key.clone())
+        let expired: Vec<usize> = self
+            .index
+            .slots()
+            .filter(|&idx| idx != protect && self.nodes[idx].expired(now))
             .collect();
-        for key in &expired {
-            self.delete(key);
+        for &idx in &expired {
+            self.remove_slot(idx);
         }
         expired.len()
     }
@@ -478,13 +689,7 @@ impl Shard {
             if victim == NIL {
                 break;
             }
-            let cost = entry_cost(&self.nodes[victim].key, &self.nodes[victim].value);
-            let key = std::mem::take(&mut self.nodes[victim].key);
-            self.mem_used -= cost;
-            self.unpinned_bytes -= cost;
-            self.map.remove(&key);
-            self.unlink(victim);
-            self.release(victim);
+            self.remove_slot(victim);
             evicted += 1;
         }
         evicted
@@ -561,6 +766,100 @@ mod tests {
         assert_eq!(s.get(b"k").unwrap().flags, 7);
         s.set(b"k", b"x", 0, false);
         assert!(s.mem_used() < used_short);
+    }
+
+    #[test]
+    fn same_length_overwrite_keeps_old_clones_intact() {
+        // The in-place Arc reuse must never mutate bytes a Value clone
+        // still observes.
+        let mut s = Shard::new(10_000);
+        s.set(b"k", b"aaaa", 0, false);
+        let held = s.get(b"k").unwrap();
+        s.set(b"k", b"bbbb", 0, false);
+        assert_eq!(&held.data[..], b"aaaa", "old clone mutated in place");
+        assert_eq!(&s.get(b"k").unwrap().data[..], b"bbbb");
+        // With no clone outstanding the same-length overwrite reuses the
+        // allocation (observable only via the alloc-counter test, but the
+        // semantics must hold either way).
+        drop(held);
+        s.set(b"k", b"cccc", 7, false);
+        let got = s.get(b"k").unwrap();
+        assert_eq!(&got.data[..], b"cccc");
+        assert_eq!(got.flags, 7);
+    }
+
+    #[test]
+    fn get_many_matches_get_and_fills_positions() {
+        let mut s = Shard::new(10_000);
+        for i in 0..8 {
+            let (k, v) = kv(i);
+            s.set(&k, &v, i, false);
+        }
+        // Out-of-order positions, one miss, one duplicate key.
+        let keys: Vec<Vec<u8>> = vec![
+            b"key3".to_vec(),
+            b"missing".to_vec(),
+            b"key0".to_vec(),
+            b"key3".to_vec(),
+        ];
+        let batch: Vec<(u64, &[u8], usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(pos, k)| (key_hash(k), k.as_slice(), pos))
+            .collect();
+        let mut out = vec![None, None, None, None];
+        let hits = s.get_many(batch, &mut out);
+        assert_eq!(hits, 3);
+        assert_eq!(&out[0].as_ref().unwrap().data[..], b"value3");
+        assert!(out[1].is_none());
+        assert_eq!(&out[2].as_ref().unwrap().data[..], b"value0");
+        assert_eq!(&out[3].as_ref().unwrap().data[..], b"value3");
+        // Results agree with the single-key path.
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(s.get(k), out[i].clone());
+        }
+    }
+
+    #[test]
+    fn get_many_expires_lazily_like_get() {
+        let (mut s, clock) = shard_with_clock(10_000);
+        s.set_full(b"t", b"v", 0, false, Some(Duration::from_secs(1)));
+        s.set(b"p", b"w", 0, false);
+        clock.advance(Duration::from_secs(2));
+        let mut out = vec![None, None];
+        let hits = s.get_many(
+            vec![
+                (key_hash(b"t"), &b"t"[..], 0),
+                (key_hash(b"p"), &b"p"[..], 1),
+            ],
+            &mut out,
+        );
+        assert_eq!(hits, 1);
+        assert!(out[0].is_none());
+        assert!(out[1].is_some());
+        assert_eq!(s.len(), 1, "expired entry reclaimed by the batch path");
+    }
+
+    #[test]
+    fn index_survives_insert_delete_churn() {
+        // Tombstone reuse and rehash under repeated fill/drain cycles.
+        let mut s = Shard::new(1 << 20);
+        for round in 0..4u32 {
+            for i in 0..300u32 {
+                let k = format!("r{round}-k{i}").into_bytes();
+                assert!(matches!(
+                    s.set(&k, b"v", 0, false),
+                    SetOutcome::Stored { .. }
+                ));
+            }
+            for i in 0..300u32 {
+                let k = format!("r{round}-k{i}").into_bytes();
+                assert!(s.contains(&k), "{round}/{i} lost after churn");
+                assert!(s.delete(&k));
+            }
+            assert_eq!(s.len(), 0);
+            assert_eq!(s.mem_used(), 0);
+        }
     }
 
     #[test]

@@ -2,6 +2,25 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of multi-get batch-size histogram buckets: bucket 0 holds
+/// single-key gets, bucket `k` (1–7) holds sizes in `(2^(k-1), 2^k]`,
+/// and the last bucket holds everything above 128 keys.
+pub const BATCH_HIST_BUCKETS: usize = 9;
+
+/// Upper bound (inclusive) of each histogram bucket except the last,
+/// which is open-ended.
+const BATCH_HIST_BOUNDS: [u64; BATCH_HIST_BUCKETS - 1] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Which histogram bucket a batch of `m` keys falls into.
+fn batch_bucket(m: usize) -> usize {
+    match m {
+        0 | 1 => 0,
+        m if m > 128 => BATCH_HIST_BUCKETS - 1,
+        // ceil(log2(m)) for 2..=128 → buckets 1..=7.
+        m => (usize::BITS - (m - 1).leading_zeros()) as usize,
+    }
+}
+
 /// Lock-free counters shared by all shards and connections.
 #[derive(Debug, Default)]
 pub struct StoreStats {
@@ -35,6 +54,13 @@ pub struct StoreStats {
     pub decr_misses: AtomicU64,
     /// incr/decr refused because the value is not a number.
     pub arith_non_numeric: AtomicU64,
+    /// Multi-get batch sizes, power-of-two buckets (see
+    /// [`BATCH_HIST_BUCKETS`]).
+    pub get_batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    /// Bytes read off client connections (request lines + data blocks).
+    pub bytes_read: AtomicU64,
+    /// Bytes written back to client connections.
+    pub bytes_written: AtomicU64,
 }
 
 /// A plain-data snapshot of [`StoreStats`].
@@ -70,6 +96,12 @@ pub struct StatsSnapshot {
     pub decr_misses: u64,
     /// incr/decr refused because the value is not a number.
     pub arith_non_numeric: u64,
+    /// Multi-get batch-size histogram (power-of-two buckets).
+    pub get_batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Bytes read off client connections.
+    pub bytes_read: u64,
+    /// Bytes written back to client connections.
+    pub bytes_written: u64,
     /// Entries currently stored (filled in by the store).
     pub curr_items: u64,
     /// Bytes currently accounted (filled in by the store).
@@ -77,9 +109,19 @@ pub struct StatsSnapshot {
 }
 
 impl StoreStats {
+    /// Record one get transaction of `m` keys in the batch-size
+    /// histogram.
+    pub fn count_get_batch(&self, m: usize) {
+        self.get_batch_hist[batch_bucket(m)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a snapshot (items/bytes are supplied by the store, which
     /// knows the shards).
     pub fn snapshot(&self, curr_items: u64, bytes: u64) -> StatsSnapshot {
+        let mut get_batch_hist = [0u64; BATCH_HIST_BUCKETS];
+        for (out, src) in get_batch_hist.iter_mut().zip(&self.get_batch_hist) {
+            *out = src.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             gets: self.gets.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
@@ -96,6 +138,9 @@ impl StoreStats {
             decr_hits: self.decr_hits.load(Ordering::Relaxed),
             decr_misses: self.decr_misses.load(Ordering::Relaxed),
             arith_non_numeric: self.arith_non_numeric.load(Ordering::Relaxed),
+            get_batch_hist,
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
             curr_items,
             bytes,
         }
@@ -115,7 +160,7 @@ impl StatsSnapshot {
     /// Render as memcached-style `STAT` lines (without the trailing
     /// `END`).
     pub fn stat_lines(&self) -> Vec<(String, String)> {
-        vec![
+        let mut lines = vec![
             ("cmd_get".into(), self.gets.to_string()),
             ("get_hits".into(), self.hits.to_string()),
             ("get_misses".into(), self.misses.to_string()),
@@ -134,9 +179,19 @@ impl StatsSnapshot {
                 "arith_non_numeric".into(),
                 self.arith_non_numeric.to_string(),
             ),
+            ("bytes_read".into(), self.bytes_read.to_string()),
+            ("bytes_written".into(), self.bytes_written.to_string()),
             ("curr_items".into(), self.curr_items.to_string()),
             ("bytes".into(), self.bytes.to_string()),
-        ]
+        ];
+        for (k, count) in self.get_batch_hist.iter().enumerate() {
+            let name = match BATCH_HIST_BOUNDS.get(k) {
+                Some(bound) => format!("get_batch_le_{bound}"),
+                None => "get_batch_gt_128".into(),
+            };
+            lines.push((name, count.to_string()));
+        }
+        lines
     }
 }
 
@@ -164,6 +219,57 @@ mod tests {
     }
 
     #[test]
+    fn batch_buckets_cover_the_size_axis() {
+        assert_eq!(batch_bucket(0), 0);
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(5), 3);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(9), 4);
+        assert_eq!(batch_bucket(100), 7);
+        assert_eq!(batch_bucket(128), 7);
+        assert_eq!(batch_bucket(129), 8);
+        assert_eq!(batch_bucket(10_000), 8);
+        // Every recorded size lands inside the array.
+        for m in 0..1000 {
+            assert!(batch_bucket(m) < BATCH_HIST_BUCKETS);
+        }
+    }
+
+    #[test]
+    fn histogram_and_bytes_round_trip_through_stat_lines() {
+        let s = StoreStats::default();
+        s.count_get_batch(1);
+        s.count_get_batch(100);
+        s.count_get_batch(100);
+        s.count_get_batch(500);
+        s.bytes_read.fetch_add(77, Ordering::Relaxed);
+        s.bytes_written.fetch_add(99, Ordering::Relaxed);
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.get_batch_hist[0], 1);
+        assert_eq!(snap.get_batch_hist[7], 2);
+        assert_eq!(snap.get_batch_hist[8], 1);
+        assert_eq!(snap.bytes_read, 77);
+        assert_eq!(snap.bytes_written, 99);
+
+        let lines = snap.stat_lines();
+        let lookup = |name: &str| -> String {
+            lines
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing stat line {name}"))
+        };
+        assert_eq!(lookup("get_batch_le_1"), "1");
+        assert_eq!(lookup("get_batch_le_128"), "2");
+        assert_eq!(lookup("get_batch_gt_128"), "1");
+        assert_eq!(lookup("bytes_read"), "77");
+        assert_eq!(lookup("bytes_written"), "99");
+    }
+
+    #[test]
     fn stat_lines_complete() {
         let lines = StatsSnapshot::default().stat_lines();
         let names: Vec<&str> = lines.iter().map(|(n, _)| n.as_str()).collect();
@@ -179,6 +285,10 @@ mod tests {
             "decr_hits",
             "decr_misses",
             "arith_non_numeric",
+            "bytes_read",
+            "bytes_written",
+            "get_batch_le_1",
+            "get_batch_gt_128",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

@@ -1,16 +1,81 @@
 //! The sharded concurrent store.
+//!
+//! The read path is batch-first: [`Store::get_multi`] groups keys by
+//! shard in a pooled [`GetScratch`], locks each touched shard exactly
+//! once, and hands the whole per-shard batch to
+//! [`Shard::get_many`](crate::Shard) — one lock round-trip and one clock
+//! read per shard instead of one per key. The seed per-key loop survives
+//! as [`Store::get_multi_reference`], the oracle the proptests and the
+//! `BENCH_store.json` benchmark compare against.
 
 use crate::clock::Clock;
-use crate::shard::{ArithOutcome, CasOutcome, SetOutcome, Shard, Value};
+use crate::shard::{self, ArithOutcome, CasOutcome, SetOutcome, Shard, Value};
 use crate::stats::{StatsSnapshot, StoreStats};
 use parking_lot::Mutex;
-use rnb_hash::xxhash::xxh64;
+use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
+
+#[cfg(test)]
+use std::sync::atomic::AtomicU64;
 
 /// Default shard count (power of two; one mutex each keeps contention low
 /// at the connection counts the micro-benchmarks use).
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Pooled scratch for [`Store::get_multi_with`]: per-shard batch lists
+/// reset by epoch stamping (the same O(1)-reset idiom as `rnb-cover`'s
+/// label interner), so a serving loop reuses one allocation set across
+/// requests of any shape.
+#[derive(Debug, Default)]
+pub struct GetScratch {
+    /// Current request number; buckets with an older stamp are logically
+    /// empty.
+    epoch: u64,
+    /// Shard indices touched by the current request, in first-touch
+    /// order.
+    touched: Vec<usize>,
+    /// One bucket per shard: `(caller position, key hash)` pairs.
+    buckets: Vec<ShardBucket>,
+}
+
+#[derive(Debug, Default)]
+struct ShardBucket {
+    epoch: u64,
+    entries: Vec<(usize, u64)>,
+}
+
+impl GetScratch {
+    /// An empty scratch; buckets are sized on first use.
+    pub const fn new() -> Self {
+        GetScratch {
+            epoch: 0,
+            touched: Vec::new(),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Start a new request against a store with `shards` shards.
+    fn begin(&mut self, shards: usize) {
+        if self.buckets.len() != shards {
+            self.buckets.clear();
+            self.buckets.resize_with(shards, ShardBucket::default);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        self.touched.clear();
+    }
+
+    /// Record that `pos`-th key (hash `h`) lands on shard `sh`.
+    fn push(&mut self, sh: usize, pos: usize, h: u64) {
+        let bucket = &mut self.buckets[sh];
+        if bucket.epoch != self.epoch {
+            bucket.epoch = self.epoch;
+            bucket.entries.clear();
+            self.touched.push(sh);
+        }
+        bucket.entries.push((pos, h));
+    }
+}
 
 /// A concurrent, memory-bounded key-value store.
 ///
@@ -28,6 +93,10 @@ pub struct Store {
     shards: Vec<Mutex<Shard>>,
     mask: u64,
     stats: StoreStats,
+    /// Shard-mutex acquisitions made by the batched multi-get path; the
+    /// regression tests assert it never exceeds the shards touched.
+    #[cfg(test)]
+    multi_lock_acquisitions: AtomicU64,
 }
 
 impl Store {
@@ -59,14 +128,27 @@ impl Store {
                 .collect(),
             mask: (shards - 1) as u64,
             stats: StoreStats::default(),
+            #[cfg(test)]
+            multi_lock_acquisitions: AtomicU64::new(0),
         }
     }
 
+    /// The store-wide counters (the server increments wire-level byte
+    /// counts through this).
+    pub(crate) fn raw_stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
     fn shard_of(&self, key: &[u8]) -> &Mutex<Shard> {
-        // Seed chosen once; must differ from placement seeds so shard
-        // choice does not correlate with RnB server choice in tests.
-        let h = xxh64(key, 0x5348_4152_4421);
+        let h = shard::key_hash(key);
         &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Which shard index `key` routes to (test-only introspection for
+    /// coverage assertions).
+    #[cfg(test)]
+    fn shard_index(&self, key: &[u8]) -> usize {
+        (shard::key_hash(key) & self.mask) as usize
     }
 
     /// Fetch one key.
@@ -87,12 +169,91 @@ impl Store {
     }
 
     /// Fetch many keys in one transaction (one `get_transactions` tick,
-    /// one lookup per key).
+    /// one lookup per key), batching shard work: each touched shard is
+    /// locked exactly once. Results land in the caller's key order.
+    ///
+    /// This convenience form allocates the result vector and borrows a
+    /// thread-local [`GetScratch`]; serving loops should hold their own
+    /// scratch and output buffer and call [`Store::get_multi_into`].
     pub fn get_multi(&self, keys: &[&[u8]]) -> Vec<Option<Value>> {
+        thread_local! {
+            static SCRATCH: RefCell<GetScratch> = const { RefCell::new(GetScratch::new()) };
+        }
+        let mut out = Vec::new();
+        SCRATCH.with(|scratch| {
+            self.get_multi_with(&mut scratch.borrow_mut(), keys.len(), |i| keys[i], &mut out);
+        });
+        out
+    }
+
+    /// [`Store::get_multi`] writing into caller-owned buffers: `out` is
+    /// cleared and refilled in key order. Reusing `scratch` and `out`
+    /// across calls makes the steady-state read path allocation-free.
+    pub fn get_multi_into(
+        &self,
+        scratch: &mut GetScratch,
+        keys: &[&[u8]],
+        out: &mut Vec<Option<Value>>,
+    ) {
+        self.get_multi_with(scratch, keys.len(), |i| keys[i], out);
+    }
+
+    /// The core batched multi-get: keys are supplied by position through
+    /// `key_at` (called O(1) times per key), so callers can hand out
+    /// sub-slices of a network buffer without materialising a `&[&[u8]]`.
+    /// Fills `out[i]` with the result for `key_at(i)`, `0 <= i < count`,
+    /// locking each touched shard exactly once. Returns the hit count.
+    pub fn get_multi_with<'k, F>(
+        &self,
+        scratch: &mut GetScratch,
+        count: usize,
+        key_at: F,
+        out: &mut Vec<Option<Value>>,
+    ) -> usize
+    where
+        F: Fn(usize) -> &'k [u8],
+    {
+        self.stats.get_txns.fetch_add(1, Ordering::Relaxed);
+        self.stats.gets.fetch_add(count as u64, Ordering::Relaxed);
+        self.stats.count_get_batch(count);
+        out.clear();
+        out.resize(count, None);
+        scratch.begin(self.shards.len());
+        for i in 0..count {
+            let h = shard::key_hash(key_at(i));
+            scratch.push((h & self.mask) as usize, i, h);
+        }
+        let mut hits = 0usize;
+        for &sh in &scratch.touched {
+            #[cfg(test)]
+            self.multi_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+            let mut guard = self.shards[sh].lock();
+            hits += guard.get_many(
+                scratch.buckets[sh]
+                    .entries
+                    .iter()
+                    .map(|&(pos, h)| (h, key_at(pos), pos)),
+                out,
+            );
+        }
+        self.stats.hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.stats
+            .misses
+            .fetch_add((count - hits) as u64, Ordering::Relaxed);
+        hits
+    }
+
+    /// The seed per-key multi-get: one shard-lock acquisition (and one
+    /// clock read) **per key**. Kept verbatim as the correctness oracle
+    /// for the batched path and as the baseline the store benchmark's
+    /// speedup ratios are measured against. Stats accounting matches
+    /// [`Store::get_multi`] exactly.
+    pub fn get_multi_reference(&self, keys: &[&[u8]]) -> Vec<Option<Value>> {
         self.stats.get_txns.fetch_add(1, Ordering::Relaxed);
         self.stats
             .gets
             .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.stats.count_get_batch(keys.len());
         let mut hits = 0u64;
         let out: Vec<Option<Value>> = keys
             .iter()
@@ -273,6 +434,7 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::Arc;
 
     #[test]
@@ -308,6 +470,109 @@ mod tests {
         assert_eq!(s.gets, 3);
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn get_multi_reference_counts_like_get_multi() {
+        let store = Store::new(1 << 20);
+        store.set(b"x", b"1", 0, false);
+        let batched = Store::new(1 << 20);
+        batched.set(b"x", b"1", 0, false);
+        store.get_multi_reference(&[b"x", b"z"]);
+        batched.get_multi(&[b"x", b"z"]);
+        let a = store.stats();
+        let b = batched.stats();
+        assert_eq!((a.get_txns, a.gets, a.hits, a.misses), (1, 2, 1, 1));
+        assert_eq!(a.get_batch_hist, b.get_batch_hist);
+    }
+
+    #[test]
+    fn get_multi_locks_at_most_shards_touched() {
+        // The tentpole invariant: lock acquisitions <= min(M, shards
+        // touched), never one per key.
+        let store = Store::with_shards(1 << 20, 8);
+        let keys: Vec<Vec<u8>> = (0..100u32).map(|i| format!("k{i}").into_bytes()).collect();
+        for k in &keys {
+            store.set(k, b"v", 0, false);
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let distinct: std::collections::HashSet<usize> =
+            refs.iter().map(|k| store.shard_index(k)).collect();
+        assert!(distinct.len() > 1, "keys should span several shards");
+
+        store.multi_lock_acquisitions.store(0, Ordering::Relaxed);
+        let out = store.get_multi(&refs);
+        let locks = store.multi_lock_acquisitions.load(Ordering::Relaxed);
+        assert!(out.iter().all(Option::is_some));
+        assert_eq!(locks as usize, distinct.len(), "one lock per touched shard");
+        assert!(locks as usize <= 8);
+        assert!(locks as usize <= refs.len());
+    }
+
+    #[test]
+    fn get_multi_spans_every_shard() {
+        // A single multi-get whose key list covers all shards comes back
+        // complete and in caller order.
+        let store = Store::with_shards(1 << 20, 8);
+        let keys: Vec<Vec<u8>> = (0..64u32)
+            .map(|i| format!("span-{i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let covered: std::collections::HashSet<usize> =
+            refs.iter().map(|k| store.shard_index(k)).collect();
+        assert_eq!(covered.len(), 8, "64 keys must cover all 8 shards");
+        for (i, k) in keys.iter().enumerate() {
+            store.set(k, format!("v{i}").as_bytes(), 0, false);
+        }
+        let out = store.get_multi(&refs);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(
+                &v.as_ref().unwrap().data[..],
+                format!("v{i}").as_bytes(),
+                "slot {i} out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn get_multi_into_reuses_buffers() {
+        let store = Store::new(1 << 20);
+        store.set(b"a", b"1", 0, false);
+        let mut scratch = GetScratch::new();
+        let mut out = Vec::new();
+        store.get_multi_into(&mut scratch, &[b"a", b"b"], &mut out);
+        assert!(out[0].is_some() && out[1].is_none());
+        // Second call with a different shape reuses the same buffers.
+        store.get_multi_into(&mut scratch, &[b"b"], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_none());
+        // Empty batches are fine too.
+        store.get_multi_into(&mut scratch, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    proptest! {
+        /// The batched multi-get is result-identical to the retained
+        /// per-key reference path, for any key mix (hits, misses,
+        /// duplicates) on any shard count.
+        #[test]
+        fn get_multi_matches_reference(
+            stored in proptest::collection::vec((0u32..40, 0usize..30), 0..40),
+            queried in proptest::collection::vec(0u32..60, 0..50),
+            shards_log2 in 0u32..5,
+        ) {
+            let store = Store::with_shards(1 << 20, 1 << shards_log2);
+            for (keyn, vlen) in &stored {
+                let key = format!("k{keyn}").into_bytes();
+                store.set(&key, &vec![b'x'; *vlen], *keyn, false);
+            }
+            let keys: Vec<Vec<u8>> =
+                queried.iter().map(|n| format!("k{n}").into_bytes()).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            let batched = store.get_multi(&refs);
+            let reference = store.get_multi_reference(&refs);
+            prop_assert_eq!(batched, reference);
+        }
     }
 
     #[test]

@@ -129,7 +129,7 @@ fn handle_datagram(datagram: &[u8], store: &Store) -> Option<Vec<Vec<u8>>> {
     let mut text = Vec::new();
     match protocol::parse_command(&line) {
         Ok(Command::Get { keys, with_cas }) => {
-            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let refs: Vec<&[u8]> = keys.iter().collect();
             let values = store.get_multi(&refs);
             for (key, value) in keys.iter().zip(values) {
                 if let Some(v) = value {
@@ -140,7 +140,7 @@ fn handle_datagram(datagram: &[u8], store: &Store) -> Option<Vec<Vec<u8>>> {
             protocol::write_end(&mut text).ok()?;
         }
         Ok(Command::Delete { key, noreply }) => {
-            let deleted = store.delete(&key);
+            let deleted = store.delete(key);
             if noreply {
                 return None;
             }

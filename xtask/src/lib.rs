@@ -2,7 +2,7 @@
 //!
 //! The one task so far is `lint`: a repo-specific static-analysis pass
 //! enforcing rules that rustc and clippy cannot express (see
-//! [`rules`] for the catalogue R1–R5). It is wired in three places so it
+//! [`rules`] for the catalogue R1–R6). It is wired in three places so it
 //! cannot be forgotten:
 //!
 //! * `cargo run -p xtask -- lint` — the developer entry point,
@@ -117,12 +117,14 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         violations.extend(rules::check_determinism(file));
         violations.extend(rules::check_wire_casts(file));
         violations.extend(rules::check_no_sleep(file));
+        violations.extend(rules::check_doc_examples(file));
         let (file_sites, missing_msgs) = rules::collect_invariant_sites(file);
         sites.extend(file_sites);
         violations.extend(missing_msgs);
     }
     violations.extend(rules::check_stale_allowlist(&files));
     violations.extend(rules::check_stale_sleep_allowlist(&files));
+    violations.extend(rules::check_stale_doc_allowlist(&files));
     violations.extend(rules::check_inventory(&sites, &inventory));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

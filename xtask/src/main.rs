@@ -22,7 +22,7 @@ fn print_usage() {
     eprintln!("usage: cargo run -p xtask -- <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint    run the repo-specific static-analysis rules (R1-R5)");
+    eprintln!("  lint    run the repo-specific static-analysis rules (R1-R6)");
 }
 
 fn run_lint() -> ExitCode {
@@ -30,9 +30,10 @@ fn run_lint() -> ExitCode {
     match xtask::lint_workspace(&root) {
         Ok(report) if report.violations.is_empty() => {
             println!(
-                "lint clean: {} files checked against R1-R5 (serving-path \
+                "lint clean: {} files checked against R1-R6 (serving-path \
                  panic-freedom, deterministic simulation, lossless wire casts, \
-                 invariant inventory, no-sleep discipline)",
+                 invariant inventory, no-sleep discipline, doc-example \
+                 coverage)",
                 report.files_scanned
             );
             ExitCode::SUCCESS

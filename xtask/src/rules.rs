@@ -7,9 +7,12 @@
 //! | R3 `lossless-wire-casts` | `rnb-store/src/protocol.rs` | no `as` integer casts in wire-format code: use `try_from` |
 //! | R4 `invariant-inventory` | whole workspace | every non-test `debug_assert*` carries a message registered in INVARIANTS.md; every `::MAX` sentinel is registered; no stale entries |
 //! | R5 `no-thread-sleep` | whole workspace | no `thread::sleep` in non-test code outside the justified allowlist: sleeping hides latency bugs and stalls serving threads |
+//! | R6 `doc-example-coverage` | `rnb-core` | every non-test `pub fn` in the public-API crate carries a ```-fenced doc example (doctested usage), or an allowlisted reason |
 //!
 //! All rules match against [`SourceFile::scrubbed`] text, so comments and
-//! string literals can never trip them.
+//! string literals can never trip them. (R6 additionally reads
+//! [`SourceFile::raw`] for the doc-comment blocks themselves, which the
+//! scrubber blanks.)
 
 use crate::inventory::{Inventory, Kind};
 use crate::scrub::SourceFile;
@@ -79,6 +82,45 @@ pub const SLEEP_ALLOWLIST: &[(&str, &str)] = &[(
 )];
 
 const SLEEP_PATTERN: &str = "thread::sleep";
+
+/// R6 scope: the public-API crate whose `pub fn`s must show a doc example.
+/// `rnb-core` is what downstream users program against; an example per
+/// function keeps the API documentation executable (doctests) instead of
+/// aspirational.
+pub const DOC_EXAMPLE_PATH: &str = "crates/rnb-core/src/";
+
+/// `(file, fn, reason)` triples excused from R6: trivial accessors whose
+/// one-line bodies return a stored field and whose behaviour every
+/// constructor example already demonstrates. Same hygiene as
+/// [`TIME_ALLOWLIST`]: an entry whose function disappeared or has since
+/// gained an example is reported stale, so the list cannot rot.
+pub const DOC_EXAMPLE_ALLOWLIST: &[(&str, &str, &str)] = &[
+    (
+        "crates/rnb-core/src/baseline.rs",
+        "copies",
+        "trivial accessor (group count); shown by FullSystemReplication::new's example",
+    ),
+    (
+        "crates/rnb-core/src/baseline.rs",
+        "servers",
+        "trivial accessor (total machines); shown by FullSystemReplication::new's example",
+    ),
+    (
+        "crates/rnb-core/src/bundler.rs",
+        "placement",
+        "trivial accessor returning the owned placement; every planning example goes through it implicitly",
+    ),
+    (
+        "crates/rnb-core/src/write.rs",
+        "policy",
+        "trivial accessor returning the stored WritePolicy",
+    ),
+    (
+        "crates/rnb-core/src/write.rs",
+        "placement",
+        "trivial accessor returning the owned placement, mirror of Bundler::placement",
+    ),
+];
 
 const PANIC_PATTERNS: &[&str] = &[
     ".unwrap()",
@@ -268,6 +310,145 @@ pub fn check_stale_sleep_allowlist(files: &[SourceFile]) -> Vec<Violation> {
             message: format!(
                 "stale sleep allowlist entry `{prefix}`: no `thread::sleep` \
                  remains; remove it from xtask/src/rules.rs"
+            ),
+        })
+        .collect()
+}
+
+/// A non-test `pub fn` declaration and whether its doc block shows an
+/// example (a ``` fence anywhere in the contiguous `///` run above it,
+/// attributes skipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubFnSite {
+    /// 1-based declaration line.
+    pub line: usize,
+    /// The function's identifier.
+    pub name: String,
+    /// Whether the attached doc comment contains a fenced code block.
+    pub has_example: bool,
+}
+
+/// Every non-test `pub fn` in `file` (plain/`const`/`async`/`unsafe`;
+/// `pub(crate)` and narrower visibilities are not public API and are
+/// skipped). Declaration detection runs on the scrubbed text so strings
+/// and comments cannot fake one; the doc block is read from the raw text
+/// because the scrubber blanks comments.
+pub fn public_fns(file: &SourceFile) -> Vec<PubFnSite> {
+    const PUB_FN_PREFIXES: &[&str] = &[
+        "pub fn ",
+        "pub const fn ",
+        "pub async fn ",
+        "pub unsafe fn ",
+    ];
+    let raw_lines: Vec<&str> = file.raw.lines().collect();
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for (idx, sline) in file.scrubbed.lines().enumerate() {
+        let line_start = offset;
+        offset += sline.len() + 1;
+        let trimmed = sline.trim_start();
+        let Some(rest) = PUB_FN_PREFIXES.iter().find_map(|p| trimmed.strip_prefix(p)) else {
+            continue;
+        };
+        if file.in_test_code(line_start + (sline.len() - trimmed.len())) {
+            continue;
+        }
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // Walk upward over the attribute lines to the contiguous doc block.
+        let mut has_example = false;
+        let mut i = idx;
+        while i > 0 {
+            i -= 1;
+            let above = raw_lines.get(i).map_or("", |l| l.trim());
+            if above.starts_with("#[") {
+                continue;
+            }
+            if above.starts_with("///") {
+                if above.contains("```") {
+                    has_example = true;
+                }
+                continue;
+            }
+            break;
+        }
+        out.push(PubFnSite {
+            line: idx + 1,
+            name,
+            has_example,
+        });
+    }
+    out
+}
+
+/// R6: public API functions must show a doc example.
+pub fn check_doc_examples(file: &SourceFile) -> Vec<Violation> {
+    check_doc_examples_with(file, DOC_EXAMPLE_ALLOWLIST)
+}
+
+/// [`check_doc_examples`] against an explicit allowlist (fixture tests).
+pub fn check_doc_examples_with(
+    file: &SourceFile,
+    allowlist: &[(&str, &str, &str)],
+) -> Vec<Violation> {
+    if !file.rel_path.starts_with(DOC_EXAMPLE_PATH) {
+        return Vec::new();
+    }
+    public_fns(file)
+        .into_iter()
+        .filter(|f| !f.has_example)
+        .filter(|f| {
+            !allowlist
+                .iter()
+                .any(|(path, name, _)| *path == file.rel_path && *name == f.name)
+        })
+        .map(|f| Violation {
+            rule: "R6/doc-example-coverage",
+            file: file.rel_path.clone(),
+            line: f.line,
+            message: format!(
+                "`pub fn {}` has no doc example; add a ```-fenced example to \
+                 its doc comment, or an allowlist entry with a written reason \
+                 in xtask/src/rules.rs",
+                f.name
+            ),
+        })
+        .collect()
+}
+
+/// R6 (hygiene): allowlist entries must still name an example-less fn.
+pub fn check_stale_doc_allowlist(files: &[SourceFile]) -> Vec<Violation> {
+    check_stale_doc_allowlist_with(files, DOC_EXAMPLE_ALLOWLIST)
+}
+
+/// [`check_stale_doc_allowlist`] against an explicit allowlist.
+pub fn check_stale_doc_allowlist_with(
+    files: &[SourceFile],
+    allowlist: &[(&str, &str, &str)],
+) -> Vec<Violation> {
+    allowlist
+        .iter()
+        .filter(|(path, name, _)| {
+            !files.iter().any(|file| {
+                file.rel_path == *path
+                    && public_fns(file)
+                        .iter()
+                        .any(|f| f.name == *name && !f.has_example)
+            })
+        })
+        .map(|(path, name, _)| Violation {
+            rule: "R6/doc-example-coverage",
+            file: (*path).to_string(),
+            line: 0,
+            message: format!(
+                "stale doc-example allowlist entry `{path}::{name}`: the \
+                 function is gone or now has an example; remove the entry \
+                 from xtask/src/rules.rs"
             ),
         })
         .collect()
@@ -770,6 +951,70 @@ mod tests {
         let good =
             inventory("| crates/rnb-sim/src/lru.rs | sentinel | usize::MAX | freelist NIL |");
         assert_eq!(check_inventory(&sites, &good), Vec::new());
+    }
+
+    // -------- R6 --------
+
+    fn core(src: &str) -> SourceFile {
+        SourceFile::new("crates/rnb-core/src/plan.rs", src)
+    }
+
+    #[test]
+    fn r6_flags_example_less_pub_fns() {
+        let f = core(
+            "/// Does a thing.\n\
+             pub fn undocumented() {}\n\
+             pub const fn bare() {}\n",
+        );
+        let v = check_doc_examples_with(&f, &[]);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "R6/doc-example-coverage"));
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("undocumented"));
+        assert!(v[1].message.contains("bare"));
+    }
+
+    #[test]
+    fn r6_accepts_fenced_examples_through_attributes() {
+        let f = core(
+            "/// Sums.\n\
+             ///\n\
+             /// ```\n\
+             /// assert_eq!(1 + 1, 2);\n\
+             /// ```\n\
+             #[must_use]\n\
+             pub fn documented(a: u32) -> u32 { a }\n",
+        );
+        assert_eq!(check_doc_examples_with(&f, &[]), Vec::new());
+    }
+
+    #[test]
+    fn r6_ignores_non_core_files_private_fns_and_tests() {
+        let elsewhere = SourceFile::new("crates/rnb-sim/src/lru.rs", "pub fn f() {}\n");
+        assert_eq!(check_doc_examples_with(&elsewhere, &[]), Vec::new());
+        let non_public = core(
+            "fn private() {}\n\
+             pub(crate) fn internal() {}\n\
+             // a comment mentioning pub fn fake()\n\
+             const S: &str = \"pub fn in_a_string()\";\n\
+             #[cfg(test)]\n\
+             mod tests { pub fn helper() {} }\n",
+        );
+        assert_eq!(check_doc_examples_with(&non_public, &[]), Vec::new());
+    }
+
+    #[test]
+    fn r6_allowlist_excuses_and_goes_stale() {
+        let f = core("/// Plain doc.\npub fn excused() {}\n");
+        let allow: &[(&str, &str, &str)] = &[("crates/rnb-core/src/plan.rs", "excused", "fixture")];
+        assert_eq!(check_doc_examples_with(&f, allow), Vec::new());
+        // Live while the fn lacks an example…
+        assert_eq!(check_stale_doc_allowlist_with(&[f], allow), Vec::new());
+        // …stale once it gains one (or disappears).
+        let fixed = core("/// ```\n/// // now shown\n/// ```\npub fn excused() {}\n");
+        let v = check_stale_doc_allowlist_with(&[fixed], allow);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("stale"));
     }
 
     #[test]
