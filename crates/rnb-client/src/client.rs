@@ -244,9 +244,8 @@ impl RnbClient {
         if self.config.writeback {
             for (item, server) in missed {
                 if let Some(data) = found.get(&item) {
-                    let data = data.clone();
                     if self.conns[server as usize]
-                        .set(&item_key(item), &data, 0)
+                        .set(&item_key(item), data, 0)
                         .is_ok()
                     {
                         self.stats.writebacks += 1;

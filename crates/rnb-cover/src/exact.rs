@@ -14,6 +14,7 @@ pub const MAX_EXACT_UNIVERSE: usize = 128;
 /// Solve `inst` to optimality. Returns `None` if the universe exceeds
 /// [`MAX_EXACT_UNIVERSE`]. Items no set can cover are ignored (matching
 /// [`CoverTarget::Full`] semantics).
+#[must_use]
 pub fn solve_exact(inst: &CoverInstance) -> Option<CoverSolution> {
     if inst.universe() > MAX_EXACT_UNIVERSE {
         return None;

@@ -45,6 +45,7 @@ use std::collections::BinaryHeap;
 /// assert_eq!(solution.picks.len(), 2);
 /// assert_eq!(solution.covered, 3);
 /// ```
+#[must_use]
 pub fn greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolution {
     Planner::new().plan(inst, target)
 }
@@ -55,6 +56,7 @@ pub fn greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolution 
 /// [`greedy_cover`] (and therefore [`Planner::plan`]) is pinned
 /// byte-identical to this function by the planner's proptests; the
 /// `planner` bench measures the speedup against it.
+#[must_use]
 pub fn greedy_cover_reference(inst: &CoverInstance, target: CoverTarget) -> CoverSolution {
     let need = target.resolve(inst);
     let budget = target.pick_budget();
@@ -96,6 +98,7 @@ pub fn greedy_cover_reference(inst: &CoverInstance, target: CoverTarget) -> Cove
 
 /// Greedy cover with lazy gain re-evaluation (identical output to
 /// [`greedy_cover`]).
+#[must_use]
 pub fn lazy_greedy_cover(inst: &CoverInstance, target: CoverTarget) -> CoverSolution {
     let need = target.resolve(inst);
     let budget = target.pick_budget();

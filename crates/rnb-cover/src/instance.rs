@@ -175,6 +175,7 @@ impl CoverSolution {
     /// Verify this solution against `inst`: picks reference valid,
     /// distinct sets; every assigned item belongs to its set; assignments
     /// are disjoint; and `covered` matches. Returns the covered count.
+    #[must_use = "the verdict is the whole point of validating; dropping it checks nothing"]
     pub fn validate(&self, inst: &CoverInstance) -> Result<usize, String> {
         let mut seen_sets = std::collections::HashSet::new();
         let mut covered = BitSet::new(inst.universe());

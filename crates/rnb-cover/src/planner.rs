@@ -162,16 +162,19 @@ pub struct PlannedPick<'a> {
 
 impl<'a> PlannedCover<'a> {
     /// Total items covered.
+    #[must_use]
     pub fn covered(&self) -> usize {
         self.buf.covered
     }
 
     /// Number of picks (transactions in RnB terms).
+    #[must_use]
     pub fn num_picks(&self) -> usize {
         self.buf.meta.len()
     }
 
     /// Iterate the picks in pick order without allocating.
+    #[must_use = "the iterator is the computed cover; dropping it discards the plan"]
     pub fn picks(&self) -> impl Iterator<Item = PlannedPick<'a>> + 'a {
         let buf = self.buf;
         let mut start = 0usize;
@@ -189,6 +192,7 @@ impl<'a> PlannedCover<'a> {
 
     /// Materialise an owned [`CoverSolution`] (allocates; byte-identical
     /// to what [`crate::greedy_cover`] returns for the same input).
+    #[must_use]
     pub fn to_solution(&self) -> CoverSolution {
         CoverSolution {
             picks: self
@@ -224,12 +228,14 @@ impl Planner {
     /// Solve `inst` and materialise an owned solution — a drop-in,
     /// output-identical replacement for [`crate::greedy_cover`] that
     /// reuses scratch memory across calls.
+    #[must_use]
     pub fn plan(&mut self, inst: &CoverInstance, target: CoverTarget) -> CoverSolution {
         self.solve(inst, target).to_solution()
     }
 
     /// Solve a prebuilt [`CoverInstance`] without allocating, returning a
     /// borrowed view of the picks.
+    #[must_use]
     pub fn solve(&mut self, inst: &CoverInstance, target: CoverTarget) -> PlannedCover<'_> {
         let Planner { scratch, out } = self;
         let wps = inst.universe().div_ceil(64);
@@ -265,6 +271,7 @@ impl Planner {
     /// byte-identical to building the instance with
     /// [`CoverInstance::from_item_candidates`] and running
     /// [`crate::greedy_cover`].
+    #[must_use]
     pub fn solve_item_candidates(
         &mut self,
         item_candidates: &[Vec<u32>],
@@ -283,6 +290,7 @@ impl Planner {
     /// universe is `offsets.len() - 1`. This is the fully pooled entry
     /// point the bundler uses — caller-side request state can be flat and
     /// reused too.
+    #[must_use]
     pub fn solve_flat_candidates(
         &mut self,
         offsets: &[u32],
@@ -298,6 +306,7 @@ impl Planner {
     }
 
     /// Convenience: [`Planner::solve_item_candidates`] + owned solution.
+    #[must_use]
     pub fn plan_item_candidates(
         &mut self,
         item_candidates: &[Vec<u32>],
@@ -307,6 +316,7 @@ impl Planner {
             .to_solution()
     }
 
+    #[must_use]
     fn solve_candidates_inner<'c>(
         &mut self,
         universe: usize,

@@ -68,7 +68,7 @@ fn steady_state_planning_does_not_allocate() {
     // A *smaller* request after warm-up also stays allocation-free: pools
     // only ever shrink logically, never physically.
     let (small_off, small_flat) = flat_candidates(40, 2, 100, 3);
-    planner.solve_flat_candidates(&small_off, &small_flat, CoverTarget::Full);
+    let _ = planner.solve_flat_candidates(&small_off, &small_flat, CoverTarget::Full);
     let ((a, r, d), _) = count_alloc(|| {
         planner
             .solve_flat_candidates(&small_off, &small_flat, CoverTarget::Full)

@@ -79,7 +79,10 @@ impl StoreClient {
         self.writer.write_all(b"\r\n")?;
         self.writer.flush()?;
 
-        let mut found: HashMap<Vec<u8>, (Vec<u8>, u32, u64)> = HashMap::new();
+        // Fill response slots positionally: each VALUE reply is matched
+        // against the requested keys directly, so the hot path neither
+        // copies key bytes nor re-hashes them into a map.
+        let mut out: Vec<Option<(Vec<u8>, u32, u64)>> = vec![None; keys.len()];
         loop {
             let line = self.expect_line()?;
             if line == b"END" {
@@ -110,9 +113,25 @@ impl StoreClient {
                 0
             };
             let data = crate::protocol::read_data_block(&mut self.reader, len)?;
-            found.insert(key.as_bytes().to_vec(), (data, flags, cas));
+            let key_bytes = key.as_bytes();
+            let matches = keys.iter().filter(|k| **k == key_bytes).count();
+            let mut left = matches;
+            let mut pending = Some((data, flags, cas));
+            for (k, slot) in keys.iter().zip(out.iter_mut()) {
+                if *k != key_bytes {
+                    continue;
+                }
+                left -= 1;
+                *slot = if left == 0 {
+                    pending.take()
+                } else {
+                    // Duplicate requested keys each receive an owned copy;
+                    // unique-key requests always take the move above.
+                    pending.clone()
+                };
+            }
         }
-        Ok(keys.iter().map(|k| found.get(*k).cloned()).collect())
+        Ok(out)
     }
 
     /// `add`: true if stored (key was absent).

@@ -1,8 +1,10 @@
 //! Tier-1 guard: the repo-specific static-analysis pass (`cargo run -p
 //! xtask -- lint`) must be clean on every commit. Running it as a plain
 //! workspace test means `cargo test -q` fails the moment a serving-path
-//! `unwrap`, an unseeded RNG, a lossy wire cast, or an unregistered
-//! invariant sneaks in — no CI required.
+//! `unwrap`, an unseeded RNG, a lossy wire cast, an unregistered
+//! invariant, a transitively reachable clone/panic (R7/R9), a missing
+//! `#[must_use]` on a planner (R8), or a nested lock (R10) sneaks in —
+//! no CI required.
 
 #[test]
 fn workspace_passes_xtask_lint() {

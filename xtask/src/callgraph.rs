@@ -1,0 +1,563 @@
+//! An approximate intra-workspace call graph.
+//!
+//! Nodes are the non-test `fn` items of `crates/*/src/**` ([`crate::items`]);
+//! edges come from syntactic call sites (`name(…)`, `recv.name(…)`,
+//! `Path::name(…)`, turbofish included) resolved by *name suffix match*:
+//!
+//! * an unqualified call resolves to same-named **free** functions,
+//! * a method call (`.name(…)`) to same-named **methods**,
+//! * a qualified call (`A::B::name(…)`) to items whose reversed path
+//!   (`Self` type, modules, crate) contains the reversed qualifier as a
+//!   subsequence,
+//!
+//! in each case restricted to the caller's crate and the workspace crates
+//! it (transitively) mentions. Calls that resolve to nothing are external
+//! (std / vendored) and ignored; calls that resolve to several candidates
+//! are recorded on the [`CallGraph::ambiguities`] list and draw an edge to
+//! **every** candidate — the analysis over-approximates rather than
+//! guessing, and the list keeps it honest about how often that happens.
+//!
+//! Known blind spots (also documented in README "Static analysis"):
+//! `<T as Trait>::f(…)` qualified paths, function pointers/closures passed
+//! as values, and macro-generated code are not traced.
+
+use crate::items::{crate_of, scan_file, FnItem};
+use crate::lexer::{TokKind, Token};
+use crate::scrub::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One call site that resolved to more than one candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ambiguity {
+    /// Index (into [`CallGraph::fns`]) of the calling function.
+    pub caller: usize,
+    /// The callee name as written at the call site.
+    pub callee: String,
+    /// How many candidates the suffix match produced.
+    pub candidates: usize,
+}
+
+/// The assembled graph.
+pub struct CallGraph {
+    /// All non-test `fn` items of `crates/*/src/**`, in file order.
+    pub fns: Vec<FnItem>,
+    /// `edges[i]` lists the indices `i` may call (deduplicated, sorted).
+    pub edges: Vec<Vec<usize>>,
+    /// Call sites the resolver could not pin to a single function.
+    pub ambiguities: Vec<Ambiguity>,
+}
+
+/// Rust keywords (and primitive-ish words) never treated as callee names.
+const NON_CALLEES: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "let", "mut", "ref", "where", "unsafe", "async", "await", "dyn", "impl", "fn", "pub",
+    "use", "mod", "struct", "enum", "trait", "type", "const", "static", "crate", "super", "box",
+];
+
+impl CallGraph {
+    /// Build the graph over `files` (non-`crates/*/src` files are ignored).
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        // Scan items and keep per-file token streams for call extraction.
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut tokens_by_file: BTreeMap<&str, Vec<Token>> = BTreeMap::new();
+        let mut scrub_by_file: BTreeMap<&str, &str> = BTreeMap::new();
+        for file in files {
+            if crate_of(&file.rel_path).is_none() {
+                continue;
+            }
+            let scanned = scan_file(file);
+            tokens_by_file.insert(&file.rel_path, scanned.tokens);
+            scrub_by_file.insert(&file.rel_path, &file.scrubbed);
+            fns.extend(scanned.fns.into_iter().filter(|f| !f.is_test));
+        }
+
+        let scope_by_crate = crate_scopes(files);
+
+        // Name → candidate indices.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut ambiguities = Vec::new();
+        for i in 0..fns.len() {
+            let Some((body_start, body_end)) = fns[i].body else {
+                continue;
+            };
+            let toks = &tokens_by_file[fns[i].file.as_str()];
+            let s = scrub_by_file[fns[i].file.as_str()];
+            let empty = BTreeSet::new();
+            let scope = fns[i]
+                .crate_name
+                .as_deref()
+                .and_then(|c| scope_by_crate.get(c))
+                .unwrap_or(&empty);
+            for site in call_sites(toks, s, body_start, body_end) {
+                let cands = resolve(&site, &fns[i], scope, &by_name, &fns);
+                if cands.len() > 1 {
+                    ambiguities.push(Ambiguity {
+                        caller: i,
+                        callee: site.name.clone(),
+                        candidates: cands.len(),
+                    });
+                }
+                edges[i].extend(cands);
+            }
+            edges[i].sort_unstable();
+            edges[i].dedup();
+        }
+        CallGraph {
+            fns,
+            edges,
+            ambiguities,
+        }
+    }
+
+    /// BFS closure from `roots`, each a `(rel_path, fn_name)` pair.
+    /// Returns the reachable node set and the roots that matched nothing
+    /// (a missing root means a rename silently disabled the rule, so
+    /// callers report it as a violation).
+    pub fn reachable(&self, roots: &[(&str, &str)]) -> (BTreeSet<usize>, Vec<(String, String)>) {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        let mut missing = Vec::new();
+        for (file, name) in roots {
+            let mut hit = false;
+            for (i, f) in self.fns.iter().enumerate() {
+                if f.file == *file && f.name == *name {
+                    hit = true;
+                    if seen.insert(i) {
+                        queue.push_back(i);
+                    }
+                }
+            }
+            if !hit {
+                missing.push(((*file).to_string(), (*name).to_string()));
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.edges[i] {
+                if seen.insert(j) {
+                    queue.push_back(j);
+                }
+            }
+        }
+        (seen, missing)
+    }
+
+    /// The node at `(file, name)` whose body span contains `offset`,
+    /// for attributing a finding to its enclosing function.
+    pub fn enclosing_fn(&self, file: &str, offset: usize) -> Option<&FnItem> {
+        // Prefer the innermost (latest-starting) containing body: nested
+        // fns appear after their parent in scan order.
+        self.fns
+            .iter()
+            .filter(|f| f.file == file)
+            .filter(|f| f.body.is_some_and(|(s, e)| (s..e).contains(&offset)))
+            .max_by_key(|f| f.body.map(|(s, _)| s))
+    }
+}
+
+/// One syntactic call site inside a function body.
+struct CallSite {
+    /// Callee identifier as written.
+    name: String,
+    /// Qualifier path segments, **innermost first** (`a::b::f` → `[b, a]`).
+    rev_qualifier: Vec<String>,
+    /// True for `.name(…)` receiver calls.
+    is_method: bool,
+}
+
+/// Extract the call sites between byte offsets `start..end`.
+fn call_sites(toks: &[Token], s: &str, start: usize, end: usize) -> Vec<CallSite> {
+    let lo = toks.partition_point(|t| t.start < start);
+    let hi = toks.partition_point(|t| t.start < end);
+    let mut out = Vec::new();
+    for k in lo..hi {
+        let t = toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text(s);
+        if NON_CALLEES.contains(&name) {
+            continue;
+        }
+        // A call: the name is followed by `(`, optionally with a
+        // `::<…>` turbofish in between.
+        let mut m = k + 1;
+        if is_path_sep(toks, m) && toks.get(m + 2).is_some_and(|t| t.is_punct(b'<')) {
+            match skip_angle_group(toks, m + 2) {
+                Some(past) => m = past,
+                None => continue,
+            }
+        }
+        if !toks.get(m).is_some_and(|t| t.is_punct(b'(')) {
+            continue;
+        }
+        // Not a call: macro (`name!`), definition (`fn name`).
+        if toks.get(k + 1).is_some_and(|t| t.is_punct(b'!')) {
+            continue;
+        }
+        if k > 0 && toks[k - 1].is_ident(s, "fn") {
+            continue;
+        }
+        // Collect the leading path qualifier, innermost segment first.
+        let mut rev_qualifier = Vec::new();
+        let mut p = k;
+        while p >= 3 && is_path_sep(toks, p - 2) && toks[p - 3].kind == TokKind::Ident {
+            rev_qualifier.push(toks[p - 3].text(s).to_string());
+            p -= 3;
+        }
+        let is_method = rev_qualifier.is_empty() && p > 0 && toks[p - 1].is_punct(b'.');
+        out.push(CallSite {
+            name: name.to_string(),
+            rev_qualifier,
+            is_method,
+        });
+    }
+    out
+}
+
+/// Are tokens `m`,`m+1` an adjacent `::`?
+fn is_path_sep(toks: &[Token], m: usize) -> bool {
+    toks.get(m).is_some_and(|t| t.is_punct(b':'))
+        && toks.get(m + 1).is_some_and(|t| t.is_punct(b':'))
+        && toks[m].end == toks[m + 1].start
+}
+
+/// Skip a balanced `<…>` group at token index `open`; returns the index
+/// just past the closing `>` (arrows `->`/`=>` are not brackets).
+fn skip_angle_group(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let arrow_tail = j > 0
+            && matches!(
+                toks[j - 1].kind,
+                TokKind::Punct(b'-') | TokKind::Punct(b'=')
+            )
+            && toks[j - 1].end == toks[j].start;
+        match toks[j].kind {
+            TokKind::Punct(b'<') if !arrow_tail => depth += 1,
+            TokKind::Punct(b'>') if !arrow_tail => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            // A `;` or `{` inside a turbofish means this `<` was a
+            // comparison, not a bracket; give up on the group.
+            TokKind::Punct(b';') | TokKind::Punct(b'{') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Which workspace crates each crate may call into: itself plus every
+/// crate whose (underscored) name appears as an identifier anywhere in
+/// its sources, transitively. Scoping resolution this way keeps, say,
+/// `rnb-sim` method names from polluting the `rnb-store` graph.
+fn crate_scopes(files: &[SourceFile]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut crates: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        if let Some(c) = crate_of(&file.rel_path) {
+            crates.insert(c);
+        }
+    }
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in files {
+        let Some(owner) = crate_of(&file.rel_path) else {
+            continue;
+        };
+        let deps = direct.entry(owner.clone()).or_default();
+        for name in &crates {
+            if *name != owner && mentions_ident(&file.scrubbed, name) {
+                deps.insert(name.clone());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for c in &crates {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue = VecDeque::from([c.clone()]);
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if let Some(deps) = direct.get(&cur) {
+                queue.extend(deps.iter().cloned());
+            }
+        }
+        out.insert(c.clone(), seen);
+    }
+    out
+}
+
+/// Does `word` occur in `text` with non-identifier characters (or text
+/// boundaries) on both sides?
+fn mentions_ident(text: &str, word: &str) -> bool {
+    let b = text.as_bytes();
+    let mut search = 0;
+    while let Some(found) = text[search..].find(word) {
+        let at = search + found;
+        search = at + 1;
+        let left_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let end = at + word.len();
+        let right_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if left_ok && right_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Resolve one call site to candidate node indices.
+fn resolve(
+    site: &CallSite,
+    caller: &FnItem,
+    scope: &BTreeSet<String>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnItem],
+) -> Vec<usize> {
+    let Some(all) = by_name.get(site.name.as_str()) else {
+        return Vec::new();
+    };
+    all.iter()
+        .copied()
+        .filter(|&i| {
+            let cand = &fns[i];
+            let in_scope = cand
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| scope.contains(c));
+            if !in_scope {
+                return false;
+            }
+            if site.is_method {
+                return cand.self_ty.is_some();
+            }
+            if site.rev_qualifier.is_empty() {
+                // Unqualified call: only free functions are in scope
+                // (methods need a receiver or a path).
+                return cand.self_ty.is_none();
+            }
+            qualifier_matches(&site.rev_qualifier, caller, cand)
+        })
+        .collect()
+}
+
+/// Does the written qualifier (innermost first) match the candidate's
+/// reversed path (`Self` type, then modules innermost-first, then crate)
+/// as a subsequence? `crate`/`self`/`super` segments are positionless and
+/// skipped; `Self` resolves to the caller's `impl` type.
+fn qualifier_matches(rev_qualifier: &[String], caller: &FnItem, cand: &FnItem) -> bool {
+    let mut rev_path: Vec<&str> = Vec::new();
+    if let Some(ty) = &cand.self_ty {
+        rev_path.push(ty);
+    }
+    rev_path.extend(cand.module_path.iter().rev().map(String::as_str));
+    if let Some(c) = &cand.crate_name {
+        rev_path.push(c);
+    }
+    let mut path_iter = rev_path.iter();
+    for seg in rev_qualifier {
+        let seg: &str = match seg.as_str() {
+            "crate" | "self" | "super" => continue,
+            "Self" => match &caller.self_ty {
+                Some(ty) => ty,
+                None => return false,
+            },
+            s => s,
+        };
+        if !path_iter.any(|p| *p == seg) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::new(*p, *s)).collect();
+        CallGraph::build(&files)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.name == name)
+            .expect("fn exists")
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let g = graph(&[(
+            "crates/rnb-store/src/a.rs",
+            "fn root() { middle(); }\n\
+             fn middle() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn unrelated() {}\n",
+        )]);
+        let (reach, missing) = g.reachable(&[("crates/rnb-store/src/a.rs", "root")]);
+        assert!(missing.is_empty());
+        let names: Vec<&str> = reach.iter().map(|&i| g.fns[i].name.as_str()).collect();
+        assert_eq!(names, ["root", "middle", "leaf"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_to_methods_only() {
+        let g = graph(&[(
+            "crates/rnb-store/src/a.rs",
+            "struct S;\n\
+             impl S { fn go(&self) {} }\n\
+             fn go() {}\n\
+             fn calls_method(s: &S) { s.go(); }\n\
+             fn calls_free() { go(); }\n",
+        )]);
+        let method = idx(&g, "go");
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/a.rs", "calls_method")]);
+        assert!(reach.contains(&method), "method edge");
+        assert!(
+            !reach
+                .iter()
+                .any(|&i| g.fns[i].name == "go" && g.fns[i].self_ty.is_none()),
+            "method call must not reach the free fn"
+        );
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/a.rs", "calls_free")]);
+        assert!(reach
+            .iter()
+            .any(|&i| g.fns[i].name == "go" && g.fns[i].self_ty.is_none()));
+        assert!(!reach.iter().any(|&i| g.fns[i].self_ty.is_some()));
+    }
+
+    #[test]
+    fn qualified_calls_suffix_match_modules_and_self() {
+        let g = graph(&[
+            (
+                "crates/rnb-store/src/shard.rs",
+                "pub fn key_hash(k: &[u8]) -> u64 { 0 }\n",
+            ),
+            (
+                "crates/rnb-store/src/store.rs",
+                "struct Store;\n\
+                 impl Store {\n\
+                 \u{20}   fn new() -> Self { Store }\n\
+                 \u{20}   fn lookup(&self) { crate::shard::key_hash(b\"k\"); }\n\
+                 \u{20}   fn fresh() { Self::new(); }\n\
+                 }\n",
+            ),
+        ]);
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/store.rs", "lookup")]);
+        assert!(
+            reach.contains(&idx(&g, "key_hash")),
+            "module-qualified call"
+        );
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/store.rs", "fresh")]);
+        assert!(reach.contains(&idx(&g, "new")), "Self-qualified call");
+    }
+
+    #[test]
+    fn cross_crate_calls_respect_dependency_scope() {
+        let files = [
+            (
+                "crates/rnb-client/src/client.rs",
+                "use rnb_core::plan;\nfn multi_get() { plan(); }\n",
+            ),
+            ("crates/rnb-core/src/lib.rs", "pub fn plan() {}\n"),
+            // rnb-sim also has a `plan`, but rnb-client never mentions
+            // rnb_sim, so it stays out of scope.
+            ("crates/rnb-sim/src/lib.rs", "pub fn plan() {}\n"),
+        ];
+        let g = graph(&files);
+        let (reach, _) = g.reachable(&[("crates/rnb-client/src/client.rs", "multi_get")]);
+        let reached: Vec<&str> = reach
+            .iter()
+            .map(|&i| g.fns[i].crate_name.as_deref().unwrap_or(""))
+            .collect();
+        assert!(reached.contains(&"rnb_core"));
+        assert!(!reached.contains(&"rnb_sim"));
+    }
+
+    #[test]
+    fn ambiguous_calls_are_recorded_and_overapproximated() {
+        let g = graph(&[(
+            "crates/rnb-store/src/a.rs",
+            "struct A; struct B;\n\
+             impl A { fn tick(&self) {} }\n\
+             impl B { fn tick(&self) { helper(); } }\n\
+             fn helper() {}\n\
+             fn root(a: &A) { a.tick(); }\n",
+        )]);
+        assert_eq!(g.ambiguities.len(), 1);
+        assert_eq!(g.ambiguities[0].callee, "tick");
+        assert_eq!(g.ambiguities[0].candidates, 2);
+        // Over-approximation: both `tick`s (and helper via B::tick) are
+        // considered reachable.
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/a.rs", "root")]);
+        assert!(reach.contains(&idx(&g, "helper")));
+    }
+
+    #[test]
+    fn macros_and_externals_draw_no_edges() {
+        let g = graph(&[(
+            "crates/rnb-store/src/a.rs",
+            "fn root(v: Vec<u8>) { println!(\"x\"); v.len(); std::mem::drop(v); }\n\
+             fn never() {}\n",
+        )]);
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/a.rs", "root")]);
+        assert_eq!(reach.len(), 1, "only the root itself");
+    }
+
+    #[test]
+    fn missing_roots_are_reported() {
+        let g = graph(&[("crates/rnb-store/src/a.rs", "fn present() {}\n")]);
+        let (_, missing) = g.reachable(&[
+            ("crates/rnb-store/src/a.rs", "present"),
+            ("crates/rnb-store/src/a.rs", "renamed_away"),
+        ]);
+        assert_eq!(
+            missing,
+            vec![(
+                "crates/rnb-store/src/a.rs".to_string(),
+                "renamed_away".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let g = graph(&[(
+            "crates/rnb-store/src/a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { live(); } }\n",
+        )]);
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "live");
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "fn outer() { fn inner() { leaf(); } inner(); }\nfn leaf() {}\n";
+        let g = graph(&[("crates/rnb-store/src/a.rs", src)]);
+        let at = src.find("leaf()").expect("fixture");
+        let f = g
+            .enclosing_fn("crates/rnb-store/src/a.rs", at)
+            .expect("contained");
+        assert_eq!(f.name, "inner");
+    }
+
+    #[test]
+    fn turbofish_calls_still_resolve() {
+        let g = graph(&[(
+            "crates/rnb-store/src/a.rs",
+            "fn root() { helper::<u32>(); }\nfn helper<T>() {}\n",
+        )]);
+        let (reach, _) = g.reachable(&[("crates/rnb-store/src/a.rs", "root")]);
+        assert!(reach.contains(&idx(&g, "helper")));
+    }
+}

@@ -1,0 +1,478 @@
+//! Item extraction: which functions exist where.
+//!
+//! A linear scan over the token stream ([`crate::lexer`]) with a scope
+//! stack recovers the parts of the item tree the call-graph rules need:
+//! every `fn` with its byte spans, enclosing module path, and — for
+//! methods — the `Self` type of the enclosing `impl`/`trait` block.
+//!
+//! The scan is deliberately not a parser: it understands exactly the
+//! constructs that open named scopes (`mod`, `impl`, `trait`, `fn`) and
+//! treats every other `{` as an anonymous block. Signatures are skipped
+//! wholesale, which is what keeps `-> impl Fn(usize) -> bool` and friends
+//! from confusing the scope stack.
+
+use crate::lexer::{tokenize, TokKind, Token};
+use crate::scrub::SourceFile;
+
+/// One `fn` item found in a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// The function's identifier.
+    pub name: String,
+    /// `Self` type when declared directly inside an `impl`/`trait` block.
+    pub self_ty: Option<String>,
+    /// Names of the enclosing `mod` blocks, outermost first.
+    pub module_path: Vec<String>,
+    /// Workspace crate the file belongs to (underscored), when it lies
+    /// under `crates/<name>/src/`.
+    pub crate_name: Option<String>,
+    /// Byte offset of the `fn` keyword.
+    pub decl_offset: usize,
+    /// Byte span of the signature (from `fn` to just before the body
+    /// brace or the terminating `;`).
+    pub sig: (usize, usize),
+    /// Byte span of the body including braces; `None` for bodiless
+    /// declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+    /// True when the declaration lies in `#[cfg(test)]`-gated code.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// The signature text (scrubbed).
+    pub fn sig_text<'a>(&self, file: &'a SourceFile) -> &'a str {
+        &file.scrubbed[self.sig.0..self.sig.1]
+    }
+}
+
+/// Tokens plus the `fn` items of one file.
+pub struct FileItems {
+    /// The file's full token stream.
+    pub tokens: Vec<Token>,
+    /// Every `fn` found, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// The workspace crate owning `rel_path`, when it lies under
+/// `crates/<name>/src/` (hyphens mapped to underscores, as in `use`
+/// paths). Integration tests, benches, examples, and `xtask` itself are
+/// outside any crate's `src/` and return `None` — the call graph covers
+/// library code only.
+pub fn crate_of(rel_path: &str) -> Option<String> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then(|| name.replace('-', "_"))
+}
+
+/// The implicit module path a file's location contributes (before any
+/// inline `mod` blocks): `src/shard.rs` → `["shard"]`, `src/foo/bar.rs`
+/// → `["foo", "bar"]`, while `lib.rs`/`main.rs`/`mod.rs` and `src/bin/*`
+/// targets are crate roots contributing nothing.
+pub fn file_module_path(rel_path: &str) -> Vec<String> {
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return Vec::new();
+    };
+    let Some((_, tail)) = rest.split_once('/') else {
+        return Vec::new();
+    };
+    let Some(tail) = tail.strip_prefix("src/") else {
+        return Vec::new();
+    };
+    let mut parts: Vec<&str> = tail.split('/').collect();
+    let file = parts.pop().unwrap_or("");
+    if parts.first() == Some(&"bin") {
+        return Vec::new();
+    }
+    let mut out: Vec<String> = parts.iter().map(|p| (*p).to_string()).collect();
+    match file.strip_suffix(".rs") {
+        Some("lib") | Some("main") | Some("mod") | None => {}
+        Some(stem) => out.push(stem.replace('-', "_")),
+    }
+    out
+}
+
+enum Scope {
+    Module(String),
+    Impl(Option<String>),
+    Trait(String),
+    Fn,
+    Other,
+}
+
+/// Scan one file into its token stream and `fn` items.
+pub fn scan_file(file: &SourceFile) -> FileItems {
+    let toks = tokenize(&file.scrubbed);
+    let s = &file.scrubbed;
+    let crate_name = crate_of(&file.rel_path);
+    let base_modules = file_module_path(&file.rel_path);
+    let mut fns = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                stack.push(Scope::Other);
+                i += 1;
+            }
+            TokKind::Punct(b'}') => {
+                stack.pop();
+                i += 1;
+            }
+            TokKind::Ident if t.is_ident(s, "mod") => {
+                // `mod name {` opens a module scope; `mod name;` is an
+                // out-of-line module (its file is scanned separately).
+                if let (Some(name_tok), Some(open)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if name_tok.kind == TokKind::Ident && open.is_punct(b'{') {
+                        stack.push(Scope::Module(name_tok.text(s).to_string()));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.is_ident(s, "impl") => match parse_impl_header(&toks, s, i) {
+                Some((self_ty, open_idx)) => {
+                    stack.push(Scope::Impl(self_ty));
+                    i = open_idx + 1;
+                }
+                None => i += 1,
+            },
+            TokKind::Ident if t.is_ident(s, "trait") => {
+                // `trait Name …: bounds… where … {` — no braces can occur
+                // before the body's, so the first `{` is it.
+                let name = match toks.get(i + 1) {
+                    Some(n) if n.kind == TokKind::Ident => n.text(s).to_string(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                match toks[i..]
+                    .iter()
+                    .position(|t| t.is_punct(b'{') || t.is_punct(b';'))
+                {
+                    Some(rel) if toks[i + rel].is_punct(b'{') => {
+                        stack.push(Scope::Trait(name));
+                        i += rel + 1;
+                    }
+                    Some(rel) => i += rel + 1,
+                    None => i = toks.len(),
+                }
+            }
+            TokKind::Ident if t.is_ident(s, "fn") => {
+                // `fn` in type position (`fn(u8) -> u8`) has `(` next, not
+                // a name; only named `fn`s are items.
+                let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let Some((sig_end_idx, has_body)) = find_sig_end(&toks, i + 2) else {
+                    i = toks.len();
+                    continue;
+                };
+                let sig_end_tok = toks[sig_end_idx];
+                let self_ty = match stack.last() {
+                    Some(Scope::Impl(ty)) => ty.clone(),
+                    Some(Scope::Trait(name)) => Some(name.clone()),
+                    _ => None,
+                };
+                let module_path = base_modules
+                    .iter()
+                    .cloned()
+                    .chain(stack.iter().filter_map(|sc| match sc {
+                        Scope::Module(m) => Some(m.clone()),
+                        _ => None,
+                    }))
+                    .collect();
+                let body = if has_body {
+                    matching_brace(&toks, sig_end_idx)
+                        .map(|close| (sig_end_tok.start, toks[close].end))
+                } else {
+                    None
+                };
+                fns.push(FnItem {
+                    file: file.rel_path.clone(),
+                    name: name_tok.text(s).to_string(),
+                    self_ty,
+                    module_path,
+                    crate_name: crate_name.clone(),
+                    decl_offset: t.start,
+                    sig: (t.start, sig_end_tok.start),
+                    body,
+                    is_test: file.in_test_code(t.start),
+                });
+                if has_body {
+                    // Enter the body so nested items are still seen (with
+                    // self_ty = None: a nested fn is not a method).
+                    stack.push(Scope::Fn);
+                }
+                i = sig_end_idx + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    FileItems { tokens: toks, fns }
+}
+
+/// From the token after the `fn` name, find the index of the body `{` or
+/// the terminating `;` at paren/bracket depth 0. Returns `(index,
+/// has_body)`.
+fn find_sig_end(toks: &[Token], mut i: usize) -> Option<(usize, bool)> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(b'(') => paren += 1,
+            TokKind::Punct(b')') => paren -= 1,
+            TokKind::Punct(b'[') => bracket += 1,
+            TokKind::Punct(b']') => bracket -= 1,
+            TokKind::Punct(b'{') if paren == 0 && bracket == 0 => return Some((i, true)),
+            TokKind::Punct(b';') if paren == 0 && bracket == 0 => return Some((i, false)),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `}` token matching the `{` at token index `open`.
+fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse an `impl` header starting at token index `i` (the `impl` ident):
+/// returns the `Self` type name and the index of the body `{`.
+///
+/// Handles `impl<G> Type`, `impl Trait for Type`, `where` clauses, and
+/// `->` arrows inside generic bounds. The `Self` type is approximated as
+/// the last identifier at angle-depth 0 of the type expression — right
+/// for paths, references, and generic types; tuples and slices collapse
+/// to their last segment, which is good enough for suffix matching.
+fn parse_impl_header(toks: &[Token], s: &str, i: usize) -> Option<(Option<String>, usize)> {
+    let mut j = i + 1;
+    // Skip the generic parameter list, if any.
+    if toks.get(j)?.is_punct(b'<') {
+        j = skip_angles(toks, j)?;
+    }
+    let mut last_ident: Option<String> = None;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = toks[j];
+        match t.kind {
+            TokKind::Punct(b'<') if !is_arrow_tail(toks, s, j) => angle += 1,
+            TokKind::Punct(b'>') if !is_arrow_tail(toks, s, j) => angle -= 1,
+            TokKind::Punct(b'(') => paren += 1,
+            TokKind::Punct(b')') => paren -= 1,
+            TokKind::Punct(b'{') if angle <= 0 && paren == 0 => {
+                return Some((last_ident, j));
+            }
+            TokKind::Ident if angle <= 0 && paren == 0 => {
+                let word = t.text(s);
+                if word == "where" {
+                    // Bounds follow; the Self type is already collected.
+                    let open = toks[j..].iter().position(|t| t.is_punct(b'{'))?;
+                    return Some((last_ident, j + open));
+                }
+                // `impl Trait for Type`: restart collection after `for`
+                // (but not the HRTB `for<'a>`).
+                if word == "for" && !toks.get(j + 1).is_some_and(|n| n.is_punct(b'<')) {
+                    last_ident = None;
+                } else if !matches!(word, "dyn" | "mut" | "const" | "unsafe") {
+                    last_ident = Some(word.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the `<`/`>` token at `j` is the tail of a `->` / `=>` arrow
+/// or part of a shift assignment — i.e. not an angle bracket.
+fn is_arrow_tail(toks: &[Token], _s: &str, j: usize) -> bool {
+    j > 0
+        && matches!(
+            toks[j - 1].kind,
+            TokKind::Punct(b'-') | TokKind::Punct(b'=')
+        )
+        && toks[j - 1].end == toks[j].start
+}
+
+/// Skip a balanced `<…>` group starting at token index `open`; returns
+/// the index just past the closing `>`.
+fn skip_angles(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(b'<') if !is_arrow_tail(toks, "", j) => depth += 1,
+            TokKind::Punct(b'>') if !is_arrow_tail(toks, "", j) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<FnItem> {
+        scan_file(&SourceFile::new("crates/rnb-store/src/x.rs", src)).fns
+    }
+
+    #[test]
+    fn crate_of_maps_src_files_only() {
+        assert_eq!(
+            crate_of("crates/rnb-store/src/server.rs").as_deref(),
+            Some("rnb_store")
+        );
+        assert_eq!(
+            crate_of("crates/rnb-store/src/bin/rnb-stored.rs").as_deref(),
+            Some("rnb_store")
+        );
+        assert_eq!(crate_of("crates/rnb-store/tests/integration.rs"), None);
+        assert_eq!(crate_of("xtask/src/lib.rs"), None);
+        assert_eq!(crate_of("src/lib.rs"), None);
+        assert_eq!(crate_of("tests/lint_clean.rs"), None);
+    }
+
+    #[test]
+    fn free_fns_and_methods() {
+        let fns = scan(
+            "fn free(x: u32) -> u32 { x }\n\
+             struct S;\n\
+             impl S {\n    fn method(&self) {}\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n",
+        );
+        assert_eq!(fns.len(), 3);
+        assert_eq!(
+            (fns[0].name.as_str(), fns[0].self_ty.as_deref()),
+            ("free", None)
+        );
+        assert_eq!(
+            (fns[1].name.as_str(), fns[1].self_ty.as_deref()),
+            ("method", Some("S"))
+        );
+        assert_eq!(
+            (fns[2].name.as_str(), fns[2].self_ty.as_deref()),
+            ("fmt", Some("S"))
+        );
+        assert_eq!(fns[0].crate_name.as_deref(), Some("rnb_store"));
+    }
+
+    #[test]
+    fn generic_impls_where_clauses_and_arrows() {
+        let fns = scan(
+            "impl<F: Fn(usize) -> bool> Wrapper<F> where F: Clone {\n\
+             \u{20}   fn call(&self) -> bool { (self.f)(0) }\n\
+             }\n\
+             impl<T> From<T> for Box<T> {\n    fn from(t: T) -> Self { Box(t) }\n}\n",
+        );
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].self_ty.as_deref(), Some("Wrapper"));
+        assert_eq!(fns[1].self_ty.as_deref(), Some("Box"));
+    }
+
+    #[test]
+    fn modules_traits_and_nested_fns() {
+        let fns = scan(
+            "mod inner {\n\
+             \u{20}   pub trait Hasher {\n        fn hash(&self) -> u64;\n        fn twice(&self) -> u64 { self.hash() * 2 }\n    }\n\
+             \u{20}   pub fn helper() { fn nested() {} nested(); }\n\
+             }\n",
+        );
+        let by_name: Vec<(&str, Option<&str>, &[String])> = fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.self_ty.as_deref(),
+                    f.module_path.as_slice(),
+                )
+            })
+            .collect();
+        assert_eq!(by_name[0].0, "hash");
+        assert_eq!(by_name[0].1, Some("Hasher"));
+        assert!(fns[0].body.is_none(), "bodiless trait method");
+        assert_eq!(by_name[1].0, "twice");
+        assert!(fns[1].body.is_some());
+        let expect = ["x".to_string(), "inner".to_string()];
+        assert_eq!(by_name[2], ("helper", None, &expect[..]));
+        assert_eq!(by_name[3], ("nested", None, &expect[..]));
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(
+            file_module_path("crates/rnb-store/src/shard.rs"),
+            vec!["shard".to_string()]
+        );
+        assert_eq!(
+            file_module_path("crates/rnb-core/src/lib.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            file_module_path("crates/rnb-store/src/bin/rnb-stored.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            file_module_path("crates/rnb-x/src/a/b.rs"),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn signatures_with_impl_trait_do_not_confuse_scopes() {
+        let fns = scan(
+            "fn maker() -> impl Fn(usize) -> bool { |_| true }\n\
+             fn after() {}\n",
+        );
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "maker");
+        assert_eq!(fns[1].name, "after");
+        assert_eq!(fns[1].self_ty, None);
+    }
+
+    #[test]
+    fn bodies_span_braces_and_tests_are_marked() {
+        let src = "fn live() { inner(); }\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let fns = scan(src);
+        assert_eq!(fns.len(), 2);
+        let (b0, b1) = fns[0].body.expect("live body");
+        assert_eq!(&src[b0..b1], "{ inner(); }");
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let fns = scan("struct S { cb: fn(u8) -> u8 }\nfn real() {}\n");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+}

@@ -1,0 +1,259 @@
+//! A lightweight token stream over **scrubbed** Rust source.
+//!
+//! The call-graph analysis (rules R7–R10) needs more structure than the
+//! substring rules R1–R6: item boundaries, brace nesting, and call
+//! syntax. A full Rust parser is out of scope (and out of reach in a
+//! std-only build), but a token stream over [`crate::scrub`]bed text is
+//! enough: comments and literal contents are already blanked, so the
+//! only lexical subtleties left are raw-string *delimiters*, char
+//! literals vs lifetimes, and identifier/number/punctuation boundaries.
+//!
+//! Every token carries byte offsets into the scrubbed text, which —
+//! because scrubbing is length-preserving — are also offsets into the
+//! raw source, so findings report real lines.
+
+/// Token classification, deliberately coarse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword: `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident,
+    /// Numeric literal (starts with a digit; suffixes included).
+    Number,
+    /// A string literal span (contents already blanked by the scrubber).
+    Str,
+    /// A char literal span (contents already blanked).
+    Char,
+    /// A lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// One punctuation byte (`{`, `(`, `.`, `:`, …).
+    Punct(u8),
+}
+
+/// One token: kind plus its byte span in the (scrubbed == raw) text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `scrubbed`.
+    pub fn text<'a>(&self, scrubbed: &'a str) -> &'a str {
+        &scrubbed[self.start..self.end]
+    }
+
+    /// True for an identifier token spelling exactly `word`.
+    pub fn is_ident(&self, scrubbed: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(scrubbed) == word
+    }
+
+    /// True for a punctuation token of byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize scrubbed source. Whitespace is skipped; unknown bytes become
+/// single-byte punctuation so the stream never stalls.
+pub fn tokenize(scrubbed: &str) -> Vec<Token> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 4);
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`: the prefix lexes as an
+            // identifier, but the literal starts right after it.
+            let word = &scrubbed[start..i];
+            if matches!(word, "r" | "b" | "br" | "rb") && raw_string_ahead(b, i) {
+                let end = skip_raw_string(b, i);
+                out.push(Token {
+                    kind: TokKind::Str,
+                    start,
+                    end,
+                });
+                i = end;
+            } else {
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    start,
+                    end: i,
+                });
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (is_ident_continue(b[i]) || b[i] == b'.') {
+                // `0..n` range syntax: stop before a second consecutive dot.
+                if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Number,
+                start,
+                end: i,
+            });
+        } else if c == b'"' {
+            // Plain string literal (contents blanked; `\"` impossible).
+            let start = i;
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            out.push(Token {
+                kind: TokKind::Str,
+                start,
+                end: i,
+            });
+        } else if c == b'\'' {
+            let start = i;
+            // Lifetime when an identifier follows; otherwise the scrubber
+            // left a char literal (`'` + blanks + `'`).
+            if b.get(i + 1).copied().is_some_and(is_ident_start) {
+                i += 2;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Lifetime,
+                    start,
+                    end: i,
+                });
+            } else {
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                out.push(Token {
+                    kind: TokKind::Char,
+                    start,
+                    end: i,
+                });
+            }
+        } else {
+            out.push(Token {
+                kind: TokKind::Punct(c),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// After a raw-string prefix ident, does `#*"` follow?
+fn raw_string_ahead(b: &[u8], mut i: usize) -> bool {
+    while i < b.len() && b[i] == b'#' {
+        i += 1;
+    }
+    i < b.len() && b[i] == b'"'
+}
+
+/// Skip a raw string starting at the `#`/`"` after its prefix; returns
+/// the offset one past the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(
+        i < b.len() && b[i] == b'"',
+        "raw string prefix must be followed by a quote"
+    );
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let s = scrub(src);
+        tokenize(&s)
+            .into_iter()
+            .map(|t| (t.kind, t.text(&s).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_punct() {
+        let toks = kinds("fn foo_1(x: u32) -> u32 { x + 0x1f }");
+        assert_eq!(toks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "foo_1".into()));
+        assert_eq!(toks[2], (TokKind::Punct(b'('), "(".into()));
+        assert!(toks.contains(&(TokKind::Number, "0x1f".into())));
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let toks = kinds(r#"let s = "panic!(inside)"; call();"#);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        // The blanked contents never yield tokens.
+        assert!(!toks.iter().any(|(_, t)| t.contains("panic")));
+        assert!(toks.iter().any(|(_, t)| t == "call"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let toks = kinds(r##"let a = r#"x"#; let b = b"y"; get(a);"##);
+        let strs = toks.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 2);
+        assert!(toks.iter().any(|(_, t)| t == "get"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn range_syntax_does_not_eat_dots() {
+        let toks = kinds("for i in 0..count { a[i] = 1.5; }");
+        assert!(toks.contains(&(TokKind::Number, "0".into())));
+        assert!(toks.contains(&(TokKind::Number, "1.5".into())));
+        assert!(toks.contains(&(TokKind::Ident, "count".into())));
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! The one task so far is `lint`: a repo-specific static-analysis pass
 //! enforcing rules that rustc and clippy cannot express (see
-//! [`rules`] for the catalogue R1–R6). It is wired in three places so it
-//! cannot be forgotten:
+//! [`rules`] for the catalogue R1–R10; R7–R10 work over the approximate
+//! call graph built by [`lexer`]/[`items`]/[`callgraph`]). It is wired
+//! in three places so it cannot be forgotten:
 //!
 //! * `cargo run -p xtask -- lint` — the developer entry point,
 //! * `tests/lint_clean.rs` — tier-1 (`cargo test -q`) runs it forever,
@@ -12,7 +13,10 @@
 //! Everything is std-only: the build environment may have no crates.io
 //! registry at all (see "Offline builds" in README.md).
 
+pub mod callgraph;
 pub mod inventory;
+pub mod items;
+pub mod lexer;
 pub mod rules;
 pub mod scrub;
 
@@ -74,8 +78,57 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result
 pub struct LintReport {
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Call sites the call-graph resolver could not pin to a single
+    /// function (edges go to every candidate; see [`callgraph`]).
+    pub ambiguous_calls: usize,
     /// All findings, sorted by file and line.
     pub violations: Vec<Violation>,
+}
+
+impl LintReport {
+    /// Machine-readable form for `lint --json`: one object with
+    /// `files_scanned`, `ambiguous_calls`, and a `violations` array of
+    /// `{rule, file, line, message}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"files_scanned\":{},\"ambiguous_calls\":{},\"violations\":[",
+            self.files_scanned, self.ambiguous_calls
+        ));
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_string(v.rule),
+                json_string(&v.file),
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape `s` as a JSON string literal (std-only, no serde available).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Run every rule over the workspace rooted at `root`.
@@ -127,9 +180,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     violations.extend(rules::check_stale_doc_allowlist(&files));
     violations.extend(rules::check_inventory(&sites, &inventory));
 
+    // The call-graph rules (R7–R10) and the registry self-check (R0).
+    let graph = callgraph::CallGraph::build(&files);
+    violations.extend(rules::check_serving_clone(&files, &graph));
+    violations.extend(rules::check_must_use(&files, &graph));
+    violations.extend(rules::check_transitive_panic(&files, &graph));
+    violations.extend(rules::check_lock_discipline(&files, &graph));
+    violations.extend(rules::self_check());
+
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(LintReport {
         files_scanned: files.len(),
+        ambiguous_calls: graph.ambiguities.len(),
         violations,
     })
 }
@@ -158,6 +220,42 @@ mod tests {
             report.files_scanned > 50,
             "suspiciously few files scanned ({}): is the walk broken?",
             report.files_scanned
+        );
+    }
+
+    #[test]
+    fn json_report_escapes_special_characters() {
+        let report = LintReport {
+            files_scanned: 2,
+            ambiguous_calls: 1,
+            violations: vec![Violation {
+                rule: "R7/serving-path-clone",
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                message: "quote \" backslash \\ tab \t newline \n done".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"files_scanned\":2,\"ambiguous_calls\":1,"));
+        assert!(json.contains("\"rule\":\"R7/serving-path-clone\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.contains(r#"quote \" backslash \\ tab \t newline \n done"#));
+        assert!(
+            !json.contains('\n'),
+            "raw control characters must be escaped"
+        );
+    }
+
+    #[test]
+    fn json_of_a_clean_report_is_flat() {
+        let report = LintReport {
+            files_scanned: 7,
+            ambiguous_calls: 0,
+            violations: Vec::new(),
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"files_scanned\":7,\"ambiguous_calls\":0,\"violations\":[]}"
         );
     }
 

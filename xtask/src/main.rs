@@ -5,7 +5,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(args.iter().any(|a| a == "--json")),
         Some(other) => {
             eprintln!("unknown task {other:?}");
             print_usage();
@@ -22,32 +22,41 @@ fn print_usage() {
     eprintln!("usage: cargo run -p xtask -- <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint    run the repo-specific static-analysis rules (R1-R6)");
+    eprintln!("  lint [--json]    run the repo-specific static-analysis rules (R1-R10);");
+    eprintln!("                   --json prints machine-readable diagnostics on stdout");
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(json: bool) -> ExitCode {
     let root = xtask::workspace_root();
     match xtask::lint_workspace(&root) {
-        Ok(report) if report.violations.is_empty() => {
-            println!(
-                "lint clean: {} files checked against R1-R6 (serving-path \
-                 panic-freedom, deterministic simulation, lossless wire casts, \
-                 invariant inventory, no-sleep discipline, doc-example \
-                 coverage)",
-                report.files_scanned
-            );
-            ExitCode::SUCCESS
-        }
         Ok(report) => {
-            for v in &report.violations {
-                eprintln!("{v}");
+            if json {
+                println!("{}", report.to_json());
+            } else if report.violations.is_empty() {
+                println!(
+                    "lint clean: {} files checked against R1-R10 (panic-freedom \
+                     textual and transitive, deterministic simulation, lossless \
+                     wire casts, invariant inventory, no-sleep discipline, \
+                     doc-example coverage, serving-path allocation, must-use \
+                     planners, lock discipline); {} ambiguous call(s) \
+                     over-approximated",
+                    report.files_scanned, report.ambiguous_calls
+                );
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!(
+                    "\nlint: {} violation(s) across {} files",
+                    report.violations.len(),
+                    report.files_scanned
+                );
             }
-            eprintln!(
-                "\nlint: {} violation(s) across {} files",
-                report.violations.len(),
-                report.files_scanned
-            );
-            ExitCode::FAILURE
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(err) => {
             eprintln!("lint: failed to scan workspace: {err}");

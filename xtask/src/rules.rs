@@ -8,15 +8,23 @@
 //! | R4 `invariant-inventory` | whole workspace | every non-test `debug_assert*` carries a message registered in INVARIANTS.md; every `::MAX` sentinel is registered; no stale entries |
 //! | R5 `no-thread-sleep` | whole workspace | no `thread::sleep` in non-test code outside the justified allowlist: sleeping hides latency bugs and stalls serving threads |
 //! | R6 `doc-example-coverage` | `rnb-core` | every non-test `pub fn` in the public-API crate carries a ```-fenced doc example (doctested usage), or an allowlisted reason |
+//! | R7 `serving-path-clone` | call-graph closure of the serving roots | no `.clone()`/`.cloned()`/`.to_vec()`/`.to_owned()` reachable from the store's protocol loop or `RnbClient::multi_get`, outside the justified allowlist |
+//! | R8 `must-use-planner` | `rnb-cover` | every pure planner entry point carries `#[must_use]`: dropping a cover plan silently is always a bug |
+//! | R9 `transitive-panic-freedom` | call-graph closure of the serving roots | no panic-family call or panicking slice helper reachable from `serve_connection`/`get_multi`/`multi_get`, except via registered invariants |
+//! | R10 `lock-discipline` | `rnb-store` | no `.lock()` guard's live scope contains another `.lock()` or socket I/O — the machine-checked form of the "one lock per shard" invariant |
 //!
 //! All rules match against [`SourceFile::scrubbed`] text, so comments and
 //! string literals can never trip them. (R6 additionally reads
 //! [`SourceFile::raw`] for the doc-comment blocks themselves, which the
-//! scrubber blanks.)
+//! scrubber blanks; R8 reads raw attribute lines the same way.)
+//! R7 and R9 walk the approximate call graph ([`crate::callgraph`]) from
+//! fixed root functions; a renamed root is itself a violation so the
+//! rules cannot be disabled silently.
 
+use crate::callgraph::CallGraph;
 use crate::inventory::{Inventory, Kind};
 use crate::scrub::SourceFile;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// One finding. The lint fails when any exist.
@@ -660,6 +668,670 @@ fn string_literal_at(file: &SourceFile, start: usize, end: usize) -> Option<Stri
     Some(file.raw[lit_start..lit_end].to_string())
 }
 
+// ---------------------------------------------------------------------
+// Call-graph rules (R7–R10) and the lint self-check.
+// ---------------------------------------------------------------------
+
+/// The rule catalogue: every `Violation::rule` id the lint can emit, with
+/// a one-line summary. The self-check rejects duplicate ids, so a new
+/// rule cannot shadow an existing one.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "R0/lint-self-check",
+        "no duplicate rule ids or allowlist keys",
+    ),
+    (
+        "R1/panic-free-serving-path",
+        "no panic-family calls in serving-path files",
+    ),
+    (
+        "R2/deterministic-simulation",
+        "no unseeded randomness; wall clock only where allowlisted",
+    ),
+    (
+        "R3/lossless-wire-casts",
+        "wire-format integers convert via try_from, never as",
+    ),
+    (
+        "R4/invariant-inventory",
+        "debug_asserts and sentinels registered in INVARIANTS.md",
+    ),
+    (
+        "R5/no-thread-sleep",
+        "no thread::sleep outside the justified allowlist",
+    ),
+    (
+        "R6/doc-example-coverage",
+        "rnb-core pub fns show a doc example",
+    ),
+    (
+        "R7/serving-path-clone",
+        "no allocation-by-copy reachable from the serving roots",
+    ),
+    (
+        "R8/must-use-planner",
+        "pure rnb-cover planner entry points carry #[must_use]",
+    ),
+    (
+        "R9/transitive-panic-freedom",
+        "no panic reachable from the serving roots",
+    ),
+    (
+        "R10/lock-discipline",
+        "no lock guard live across another lock or socket I/O",
+    ),
+];
+
+/// R7/R9 roots on the store side plus the client's batched read path.
+/// `serve_connection` is the protocol loop every request flows through;
+/// `get_multi`/`get_multi_with` are the store's batched read entry
+/// points; `multi_get` is the client-side plan→fetch→writeback driver.
+pub const CLONE_ROOTS: &[(&str, &str)] = &[
+    ("crates/rnb-store/src/server.rs", "serve_connection"),
+    ("crates/rnb-client/src/client.rs", "multi_get"),
+];
+
+/// Allocation-by-copy calls R7 forbids in the serving closure.
+pub const CLONE_PATTERNS: &[&str] = &[".clone()", ".cloned()", ".to_vec()", ".to_owned()"];
+
+/// `(file, fn, reason)` triples excused from R7. Same hygiene as the
+/// other allowlists: an entry whose function left the serving closure or
+/// no longer copies is reported stale.
+pub const CLONE_ALLOWLIST: &[(&str, &str, &str)] = &[
+    (
+        "crates/rnb-client/src/client.rs",
+        "multi_get",
+        "output materialization: the per-item result Vec owns its values, and \
+         duplicate requested items each need an owned copy of the shared hit",
+    ),
+    (
+        "crates/rnb-store/src/client.rs",
+        "gets_inner",
+        "duplicate requested keys each receive an owned copy of the VALUE \
+         payload; unique-key requests always take the move path",
+    ),
+];
+
+/// R9 roots: the serving closure entry points held to transitive
+/// panic-freedom.
+pub const PANIC_ROOTS: &[(&str, &str)] = &[
+    ("crates/rnb-store/src/server.rs", "serve_connection"),
+    ("crates/rnb-store/src/store.rs", "get_multi"),
+    ("crates/rnb-store/src/store.rs", "get_multi_with"),
+    ("crates/rnb-client/src/client.rs", "multi_get"),
+];
+
+/// What R9 hunts in the closure: the R1 panic family plus the slice
+/// helpers that panic on bad lengths. (Bare `x[i]` indexing is a known
+/// blind spot — see README "Static analysis".)
+pub const TRANSITIVE_PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    ".split_at(",
+    ".split_at_mut(",
+    ".copy_from_slice(",
+];
+
+/// `(file, fn, pattern, reason)` invariants registered with R9: sites in
+/// the serving closure where the panic condition is statically impossible
+/// and the reason says why. A row whose site disappeared is stale.
+pub const PANIC_INVARIANT_REGISTRY: &[(&str, &str, &str, &str)] = &[
+    (
+        "crates/rnb-hash/src/mix.rs",
+        "read_u64_le",
+        ".unwrap()",
+        "try_into on the 8-byte slice `bytes[offset..offset + 8]` cannot fail: \
+         the length is fixed by the range; out-of-bounds offsets are excluded \
+         by xxh64's stripe loop bound",
+    ),
+    (
+        "crates/rnb-hash/src/mix.rs",
+        "read_u32_le",
+        ".unwrap()",
+        "try_into on the 4-byte slice `bytes[offset..offset + 4]` cannot fail, \
+         same argument as read_u64_le",
+    ),
+    (
+        "crates/rnb-hash/src/rch.rs",
+        "replicas_into",
+        "unreachable!(",
+        "a full continuum lap visits every server, and `want` is clamped to \
+         `ring.num_servers()` above, so the walk always gathers `want` unique \
+         servers before the iterator ends",
+    ),
+    (
+        "crates/rnb-hash/src/rendezvous.rs",
+        "score",
+        ".copy_from_slice(",
+        "both copies fill fixed halves of a `[u8; 16]` with 8-byte \
+         `to_le_bytes` arrays; the lengths match by construction",
+    ),
+    (
+        "crates/rnb-store/src/shard.rs",
+        "set_full",
+        ".copy_from_slice(",
+        "the in-place overwrite arm is guarded by `buf.len() == value.len()` \
+         in the same match pattern",
+    ),
+    (
+        "crates/rnb-core/src/bundler.rs",
+        "merge_by_server",
+        ".split_at_mut(",
+        "`i` comes from `1..transactions.len()` of the enclosing loop, so it \
+         is a valid split point of the same vector",
+    ),
+];
+
+/// R8 scope: the pure planner crate.
+pub const MUST_USE_PATH: &str = "crates/rnb-cover/src/";
+
+/// Free functions in `rnb-cover` that compute a cover and return it;
+/// dropping the result is always a bug, so `#[must_use]` is mandatory.
+pub const MUST_USE_FREE_FNS: &[&str] = &[
+    "greedy_cover",
+    "greedy_cover_reference",
+    "lazy_greedy_cover",
+    "solve_exact",
+];
+
+/// Result types whose `&self` accessors must be `#[must_use]`.
+pub const MUST_USE_SELF_TYPES: &[&str] = &["PlannedCover", "CoverSolution"];
+
+/// R10 scope: every non-test file of the store crate.
+pub const LOCK_DISCIPLINE_PATH: &str = "crates/rnb-store/src/";
+
+/// Socket-level reads/writes that must never run under a lock guard:
+/// they block for network time, turning a shard mutex into a
+/// tail-latency amplifier for every other connection.
+pub const SOCKET_IO_PATTERNS: &[&str] = &[
+    "write_all(",
+    ".flush(",
+    "read_exact(",
+    "read_until(",
+    "read_line_into(",
+    "read_data_block_into(",
+    "read_to_end(",
+    "recv_from(",
+    "send_to(",
+];
+
+/// `(file, fn, reason)` triples excused from R10, with staleness
+/// checking. Empty today: the store has no justified nested-lock or
+/// lock-across-I/O site, and the bar for adding one is high.
+pub const LOCK_ALLOWLIST: &[(&str, &str, &str)] = &[];
+
+const LOCK_PATTERN: &str = ".lock()";
+
+/// Every non-test occurrence of `pattern` within `start..end`.
+fn occurrences_between<'a>(
+    file: &'a SourceFile,
+    pattern: &'a str,
+    start: usize,
+    end: usize,
+) -> impl Iterator<Item = usize> + 'a {
+    let mut search = start;
+    std::iter::from_fn(move || {
+        while search < end {
+            let found = file.scrubbed[search..end].find(pattern)?;
+            let offset = search + found;
+            search = offset + pattern.len();
+            if !file.in_test_code(offset) {
+                return Some(offset);
+            }
+        }
+        None
+    })
+}
+
+/// Shared driver for R7 and R9: scan every function reachable from
+/// `roots` for `patterns`, excusing `(file, fn[, pattern])` keys present
+/// in `exempt`, and report both missing roots and stale exemptions.
+/// `exempt` keys are `file::fn` (R7) or `file::fn::pattern` (R9),
+/// produced by the caller.
+#[allow(clippy::too_many_arguments)]
+fn check_reachable_patterns(
+    rule: &'static str,
+    files: &[SourceFile],
+    graph: &CallGraph,
+    roots: &[(&str, &str)],
+    patterns: &[&str],
+    exempt: &BTreeMap<String, String>,
+    per_pattern_keys: bool,
+    advice: &str,
+) -> Vec<Violation> {
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    let (reach, missing) = graph.reachable(roots);
+    let mut out: Vec<Violation> = missing
+        .into_iter()
+        .map(|(file, name)| Violation {
+            rule,
+            file: file.clone(),
+            line: 0,
+            message: format!(
+                "rule root `{file}::{name}` not found: the function was renamed \
+                 or moved, so the rule is silently disabled; update the root \
+                 list in xtask/src/rules.rs"
+            ),
+        })
+        .collect();
+    let mut live_exemptions: BTreeSet<&str> = BTreeSet::new();
+    for &i in &reach {
+        let f = &graph.fns[i];
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        let Some(file) = by_path.get(f.file.as_str()) else {
+            continue;
+        };
+        for pattern in patterns {
+            for offset in occurrences_between(file, pattern, body_start, body_end) {
+                let key = if per_pattern_keys {
+                    format!("{}::{}::{}", f.file, f.name, pattern)
+                } else {
+                    format!("{}::{}", f.file, f.name)
+                };
+                if let Some((stored, _reason)) = exempt.get_key_value(&key) {
+                    live_exemptions.insert(stored);
+                    continue;
+                }
+                out.push(Violation {
+                    rule,
+                    file: f.file.clone(),
+                    line: file.line_of(offset),
+                    message: format!(
+                        "`{pattern}` in `{}`, which is reachable from the serving \
+                         roots; {advice} (`{}`)",
+                        f.name,
+                        file.excerpt(offset)
+                    ),
+                });
+            }
+        }
+    }
+    for key in exempt.keys() {
+        if !live_exemptions.contains(key.as_str()) {
+            out.push(Violation {
+                rule,
+                file: key.clone(),
+                line: 0,
+                message: format!(
+                    "stale exemption `{key}`: the function left the serving \
+                     closure or the flagged call is gone; remove the entry \
+                     from xtask/src/rules.rs"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R7: nothing reachable from the serving roots may copy-allocate.
+pub fn check_serving_clone(files: &[SourceFile], graph: &CallGraph) -> Vec<Violation> {
+    check_serving_clone_with(files, graph, CLONE_ROOTS, CLONE_ALLOWLIST)
+}
+
+/// [`check_serving_clone`] against explicit roots/allowlist (fixtures).
+pub fn check_serving_clone_with(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    roots: &[(&str, &str)],
+    allowlist: &[(&str, &str, &str)],
+) -> Vec<Violation> {
+    let exempt: BTreeMap<String, String> = allowlist
+        .iter()
+        .map(|(f, n, why)| (format!("{f}::{n}"), (*why).to_string()))
+        .collect();
+    check_reachable_patterns(
+        "R7/serving-path-clone",
+        files,
+        graph,
+        roots,
+        CLONE_PATTERNS,
+        &exempt,
+        false,
+        "restructure to borrow or move instead, or add an allowlist entry \
+         with a written reason in xtask/src/rules.rs",
+    )
+}
+
+/// R9: nothing reachable from the serving roots may panic.
+pub fn check_transitive_panic(files: &[SourceFile], graph: &CallGraph) -> Vec<Violation> {
+    check_transitive_panic_with(files, graph, PANIC_ROOTS, PANIC_INVARIANT_REGISTRY)
+}
+
+/// [`check_transitive_panic`] against explicit roots/registry (fixtures).
+pub fn check_transitive_panic_with(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    roots: &[(&str, &str)],
+    registry: &[(&str, &str, &str, &str)],
+) -> Vec<Violation> {
+    let exempt: BTreeMap<String, String> = registry
+        .iter()
+        .map(|(f, n, p, why)| (format!("{f}::{n}::{p}"), (*why).to_string()))
+        .collect();
+    check_reachable_patterns(
+        "R9/transitive-panic-freedom",
+        files,
+        graph,
+        roots,
+        TRANSITIVE_PANIC_PATTERNS,
+        &exempt,
+        true,
+        "propagate a Result, prove the invariant and register it in \
+         PANIC_INVARIANT_REGISTRY (xtask/src/rules.rs) with a written reason",
+    )
+}
+
+/// Does the contiguous attribute block above `decl_offset`'s line contain
+/// `#[attr…]`? Doc comments are skipped; the walk reads raw text because
+/// the scrubber blanks nothing in attribute lines but doc text above may
+/// hold arbitrary content.
+fn has_attr_above(file: &SourceFile, decl_offset: usize, attr: &str) -> bool {
+    let needle = format!("#[{attr}");
+    let raw_lines: Vec<&str> = file.raw.lines().collect();
+    let mut i = file.line_of(decl_offset) - 1;
+    while i > 0 {
+        i -= 1;
+        let above = raw_lines.get(i).map_or("", |l| l.trim());
+        if above.starts_with("#[") || above.starts_with("#!") {
+            if above.contains(&needle) {
+                return true;
+            }
+            continue;
+        }
+        if above.starts_with("///") || above.starts_with("//") {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// R8: pure planner entry points in `rnb-cover` carry `#[must_use]`.
+///
+/// Covered: the free cover solvers ([`MUST_USE_FREE_FNS`]), every
+/// `Planner` method named `plan*`/`solve*`, and every value-returning
+/// `&self` accessor of the result types ([`MUST_USE_SELF_TYPES`]).
+pub fn check_must_use(files: &[SourceFile], graph: &CallGraph) -> Vec<Violation> {
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    let mut out = Vec::new();
+    for f in &graph.fns {
+        if !f.file.starts_with(MUST_USE_PATH) {
+            continue;
+        }
+        let Some(file) = by_path.get(f.file.as_str()) else {
+            continue;
+        };
+        let sig = f.sig_text(file);
+        let returns_value = sig.contains("->");
+        let required = match f.self_ty.as_deref() {
+            None => MUST_USE_FREE_FNS.contains(&f.name.as_str()) && returns_value,
+            Some("Planner") => {
+                (f.name.starts_with("plan") || f.name.starts_with("solve")) && returns_value
+            }
+            Some(ty) => {
+                MUST_USE_SELF_TYPES.contains(&ty)
+                    && sig.contains("&self")
+                    && !sig.contains("&mut self")
+                    && returns_value
+            }
+        };
+        if required && !has_attr_above(file, f.decl_offset, "must_use") {
+            out.push(Violation {
+                rule: "R8/must-use-planner",
+                file: f.file.clone(),
+                line: file.line_of(f.decl_offset),
+                message: format!(
+                    "planner entry point `{}` lacks `#[must_use]`: computing a \
+                     cover and dropping it is always a bug; add the attribute",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The live scope of the `.lock()` guard created at `lock_off`:
+/// byte range `(start, end)` of the code during which the guard may
+/// still be held.
+///
+/// * `let g = x.lock();` — a named guard lives from the `;` to the end
+///   of the enclosing block (`}`), the lexical over-approximation of its
+///   drop point.
+/// * Any other use is a temporary: the guard lives to the end of the
+///   statement, extended through a trailing block when the expression
+///   heads one (`for x in m.lock().iter() { … }` holds the guard for
+///   the whole loop).
+fn guard_scope(file: &SourceFile, lock_off: usize) -> (usize, usize) {
+    let s = file.scrubbed.as_bytes();
+    let after = lock_off + LOCK_PATTERN.len();
+    let mut j = after;
+    while j < s.len() && s[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    let stmt_start = file.scrubbed[..lock_off]
+        .rfind([';', '{', '}'])
+        .map_or(0, |p| p + 1);
+    let binds = j < s.len()
+        && s[j] == b';'
+        && file.scrubbed[stmt_start..lock_off]
+            .trim_start()
+            .starts_with("let ");
+    if binds {
+        // From the `;` to the `}` closing the enclosing block.
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        while k < s.len() {
+            match s[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    if depth == 0 {
+                        return (j + 1, k);
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        (j + 1, s.len())
+    } else {
+        // Temporary: to the statement's `;`, through a trailing block.
+        let mut paren = 0i32;
+        let mut brace = 0i32;
+        let mut tail_block = false;
+        let mut k = after;
+        while k < s.len() {
+            match s[k] {
+                b'(' => paren += 1,
+                b')' => paren = (paren - 1).max(0),
+                b'{' => {
+                    if paren == 0 && brace == 0 {
+                        tail_block = true;
+                    }
+                    brace += 1;
+                }
+                b'}' => {
+                    if brace == 0 {
+                        return (after, k);
+                    }
+                    brace -= 1;
+                    if brace == 0 && tail_block {
+                        return (after, k);
+                    }
+                }
+                b';' if paren == 0 && brace == 0 => return (after, k),
+                _ => {}
+            }
+            k += 1;
+        }
+        (after, s.len())
+    }
+}
+
+/// R10: in `rnb-store`, no lock guard's live scope may contain another
+/// `.lock()` (nested acquisition → ordering hazard) or socket I/O
+/// (network time under a shard mutex → tail-latency amplifier).
+pub fn check_lock_discipline(files: &[SourceFile], graph: &CallGraph) -> Vec<Violation> {
+    check_lock_discipline_with(files, graph, LOCK_ALLOWLIST)
+}
+
+/// [`check_lock_discipline`] against an explicit allowlist (fixtures).
+pub fn check_lock_discipline_with(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    allowlist: &[(&str, &str, &str)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut live_allow: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for file in files {
+        if !file.rel_path.starts_with(LOCK_DISCIPLINE_PATH) {
+            continue;
+        }
+        for lock_off in
+            occurrences_between(file, LOCK_PATTERN, 0, file.scrubbed.len()).collect::<Vec<_>>()
+        {
+            let (start, end) = guard_scope(file, lock_off);
+            let mut offenders: Vec<(usize, &str)> = Vec::new();
+            for inner in occurrences_between(file, ".lock(", start, end) {
+                offenders.push((inner, "another `.lock()`"));
+            }
+            for pattern in SOCKET_IO_PATTERNS {
+                for inner in occurrences_between(file, pattern, start, end) {
+                    offenders.push((inner, "socket I/O"));
+                }
+            }
+            if offenders.is_empty() {
+                continue;
+            }
+            let holder = graph
+                .enclosing_fn(&file.rel_path, lock_off)
+                .map(|f| f.name.as_str())
+                .unwrap_or("?");
+            if let Some((f, n, _)) = allowlist
+                .iter()
+                .find(|(f, n, _)| *f == file.rel_path && *n == holder)
+            {
+                live_allow.insert((f, n));
+                continue;
+            }
+            for (inner, what) in offenders {
+                out.push(Violation {
+                    rule: "R10/lock-discipline",
+                    file: file.rel_path.clone(),
+                    line: file.line_of(inner),
+                    message: format!(
+                        "{what} inside the scope of the lock guard taken at \
+                         line {} (in `{holder}`); release the guard first — \
+                         no lock is held across another lock or the network \
+                         (`{}`)",
+                        file.line_of(lock_off),
+                        file.excerpt(inner)
+                    ),
+                });
+            }
+        }
+    }
+    for (f, n, _) in allowlist {
+        if !live_allow.contains(&(*f, *n)) {
+            out.push(Violation {
+                rule: "R10/lock-discipline",
+                file: (*f).to_string(),
+                line: 0,
+                message: format!(
+                    "stale lock allowlist entry `{f}::{n}`: no guarded-scope \
+                     conflict remains; remove the entry from xtask/src/rules.rs"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R0: the lint's own registries must be well-formed — unique rule ids
+/// and unique keys in every allowlist/registry.
+pub fn self_check() -> Vec<Violation> {
+    let lists: Vec<(&str, Vec<String>)> = vec![
+        (
+            "RULES",
+            RULES.iter().map(|(id, _)| (*id).to_string()).collect(),
+        ),
+        (
+            "TIME_ALLOWLIST",
+            TIME_ALLOWLIST
+                .iter()
+                .map(|(f, _)| (*f).to_string())
+                .collect(),
+        ),
+        (
+            "SLEEP_ALLOWLIST",
+            SLEEP_ALLOWLIST
+                .iter()
+                .map(|(f, _)| (*f).to_string())
+                .collect(),
+        ),
+        (
+            "DOC_EXAMPLE_ALLOWLIST",
+            DOC_EXAMPLE_ALLOWLIST
+                .iter()
+                .map(|(f, n, _)| format!("{f}::{n}"))
+                .collect(),
+        ),
+        (
+            "CLONE_ALLOWLIST",
+            CLONE_ALLOWLIST
+                .iter()
+                .map(|(f, n, _)| format!("{f}::{n}"))
+                .collect(),
+        ),
+        (
+            "PANIC_INVARIANT_REGISTRY",
+            PANIC_INVARIANT_REGISTRY
+                .iter()
+                .map(|(f, n, p, _)| format!("{f}::{n}::{p}"))
+                .collect(),
+        ),
+        (
+            "LOCK_ALLOWLIST",
+            LOCK_ALLOWLIST
+                .iter()
+                .map(|(f, n, _)| format!("{f}::{n}"))
+                .collect(),
+        ),
+    ];
+    self_check_with(&lists)
+}
+
+/// [`self_check`] against explicit `(list name, keys)` pairs (fixtures).
+pub fn self_check_with(lists: &[(&str, Vec<String>)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (name, keys) in lists {
+        let mut seen = BTreeSet::new();
+        for key in keys {
+            if !seen.insert(key.as_str()) {
+                out.push(Violation {
+                    rule: "R0/lint-self-check",
+                    file: "xtask/src/rules.rs".to_string(),
+                    line: 0,
+                    message: format!(
+                        "duplicate key `{key}` in {name}: the second entry is \
+                         dead and hides edits to the first; remove one"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1026,5 +1698,315 @@ mod tests {
         let (sites, missing) = collect_invariant_sites(&f);
         assert_eq!(sites, Vec::new());
         assert_eq!(missing, Vec::new());
+    }
+
+    // -------- R7 --------
+
+    const SERVE_ROOT: &[(&str, &str)] = &[("crates/rnb-store/src/server.rs", "serve_connection")];
+
+    #[test]
+    fn r7_reintroduced_clone_in_serve_connection_fails() {
+        // The acceptance fixture: a clone() put back anywhere in the
+        // serving closure — here one call away from the root — must fail.
+        let files = vec![serving(
+            "fn serve_connection() { let req = parse(); handle(req); }\n\
+             fn handle(req: Req) { let owned = req.data.clone(); drop(owned); }\n\
+             fn parse() -> Req { Req }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let v = check_serving_clone_with(&files, &graph, SERVE_ROOT, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R7/serving-path-clone");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("handle"));
+    }
+
+    #[test]
+    fn r7_clean_serving_path_passes() {
+        let files = vec![serving(
+            "fn serve_connection(buf: &mut Vec<u8>) { fill(buf); }\n\
+             fn fill(buf: &mut Vec<u8>) { buf.extend_from_slice(b\"ok\"); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(
+            check_serving_clone_with(&files, &graph, SERVE_ROOT, &[]),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn r7_ignores_unreachable_fns_and_test_code() {
+        let files = vec![serving(
+            "fn serve_connection() { fast(); }\n\
+             fn fast() {}\n\
+             fn cold_admin_path(x: &[u8]) { let v = x.to_vec(); drop(v); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t(x: &Y) { let v = x.clone(); } }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(
+            check_serving_clone_with(&files, &graph, SERVE_ROOT, &[]),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn r7_allowlist_excuses_and_goes_stale() {
+        let allow: &[(&str, &str, &str)] = &[(
+            "crates/rnb-store/src/server.rs",
+            "serve_connection",
+            "fixture reason",
+        )];
+        let dirty = vec![serving(
+            "fn serve_connection(buf: &[u8]) { let v = buf.to_owned(); drop(v); }\n",
+        )];
+        let graph = CallGraph::build(&dirty);
+        assert_eq!(
+            check_serving_clone_with(&dirty, &graph, SERVE_ROOT, allow),
+            Vec::new()
+        );
+        // Once the copy disappears, the unused entry itself is the finding.
+        let clean = vec![serving("fn serve_connection() {}\n")];
+        let graph = CallGraph::build(&clean);
+        let v = check_serving_clone_with(&clean, &graph, SERVE_ROOT, allow);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn r7_renamed_root_is_reported_not_silently_dropped() {
+        let files = vec![serving("fn serve_conn_v2(x: &Y) { let v = x.clone(); }\n")];
+        let graph = CallGraph::build(&files);
+        let v = check_serving_clone_with(&files, &graph, SERVE_ROOT, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("not found"));
+    }
+
+    // -------- R8 --------
+
+    fn cover(src: &str) -> SourceFile {
+        SourceFile::new("crates/rnb-cover/src/greedy.rs", src)
+    }
+
+    #[test]
+    fn r8_flags_unmarked_planner_entry_points() {
+        let files = vec![cover(
+            "pub fn greedy_cover(n: usize) -> usize { n }\n\
+             impl Planner { pub fn plan_cover(&mut self) -> usize { 0 } }\n\
+             impl PlannedCover { pub fn covered(&self) -> usize { 0 } }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let v = check_must_use(&files, &graph);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "R8/must-use-planner"));
+        assert_eq!(v.iter().map(|x| x.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn r8_satisfied_by_attribute_and_tightly_scoped() {
+        let files = vec![cover(
+            "#[must_use]\n\
+             pub fn greedy_cover(n: usize) -> usize { n }\n\
+             pub fn helper_not_listed(n: usize) -> usize { n }\n\
+             impl Planner { pub fn reset(&mut self) {} }\n\
+             impl PlannedCover { pub fn absorb(&mut self, x: usize) -> usize { x } }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(check_must_use(&files, &graph), Vec::new());
+        // The same declarations outside rnb-cover are out of scope.
+        let elsewhere = vec![SourceFile::new(
+            "crates/rnb-core/src/plan.rs",
+            "pub fn greedy_cover(n: usize) -> usize { n }\n",
+        )];
+        let graph = CallGraph::build(&elsewhere);
+        assert_eq!(check_must_use(&elsewhere, &graph), Vec::new());
+    }
+
+    // -------- R9 --------
+
+    #[test]
+    fn r9_transitive_panic_detected_two_hops_out() {
+        let files = vec![serving(
+            "fn serve_connection() { decode(); }\n\
+             fn decode() { verify(); }\n\
+             fn verify(header: &[u8]) { let _ = header.split_at(4); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let v = check_transitive_panic_with(&files, &graph, SERVE_ROOT, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R9/transitive-panic-freedom");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("verify"));
+    }
+
+    #[test]
+    fn r9_clean_result_propagation_passes() {
+        let files = vec![serving(
+            "fn serve_connection() -> Result<(), E> { decode()?; Ok(()) }\n\
+             fn decode() -> Result<(), E> { Err(E) }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(
+            check_transitive_panic_with(&files, &graph, SERVE_ROOT, &[]),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn r9_registered_invariant_excuses_and_goes_stale() {
+        let registry: &[(&str, &str, &str, &str)] = &[(
+            "crates/rnb-store/src/server.rs",
+            "serve_connection",
+            ".unwrap()",
+            "fixture invariant",
+        )];
+        let dirty = vec![serving(
+            "fn serve_connection(x: Option<u8>) { let _ = x.unwrap(); }\n",
+        )];
+        let graph = CallGraph::build(&dirty);
+        assert_eq!(
+            check_transitive_panic_with(&dirty, &graph, SERVE_ROOT, registry),
+            Vec::new()
+        );
+        // The registration is per pattern: a different panic in the same
+        // function is still a finding.
+        let other_pattern = vec![serving(
+            "fn serve_connection(x: Option<u8>) { let _ = x.unwrap(); panic!(\"no\"); }\n",
+        )];
+        let graph = CallGraph::build(&other_pattern);
+        let v = check_transitive_panic_with(&other_pattern, &graph, SERVE_ROOT, registry);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("panic!("));
+        // And the row goes stale once the unwrap is gone.
+        let clean = vec![serving("fn serve_connection() {}\n")];
+        let graph = CallGraph::build(&clean);
+        let v = check_transitive_panic_with(&clean, &graph, SERVE_ROOT, registry);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stale"));
+    }
+
+    // -------- R10 --------
+
+    fn store_file(src: &str) -> SourceFile {
+        SourceFile::new("crates/rnb-store/src/shard.rs", src)
+    }
+
+    #[test]
+    fn r10_nested_lock_fails() {
+        // The acceptance fixture: a second .lock() while the first guard
+        // is still live must fail.
+        let files = vec![store_file(
+            "impl Shard {\n\
+                 fn rebalance(&self) {\n\
+                     let a = self.left.lock();\n\
+                     let b = self.right.lock();\n\
+                     drop((a, b));\n\
+                 }\n\
+             }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let v = check_lock_discipline_with(&files, &graph, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R10/lock-discipline");
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("rebalance"));
+        assert!(v[0].message.contains("another `.lock()`"));
+    }
+
+    #[test]
+    fn r10_socket_io_under_guard_fails() {
+        let files = vec![store_file(
+            "fn reply(&self, w: &mut W) {\n\
+                 let g = self.map.lock();\n\
+                 w.write_all(g.bytes());\n\
+             }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let v = check_lock_discipline_with(&files, &graph, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("socket I/O"));
+    }
+
+    #[test]
+    fn r10_guard_dropped_before_io_passes() {
+        // The inner block ends the named guard's scope, so the write
+        // after it is clean.
+        let files = vec![store_file(
+            "fn reply(&self, w: &mut W) {\n\
+                 let data = {\n\
+                     let g = self.map.lock();\n\
+                     g.get(0)\n\
+                 };\n\
+                 w.write_all(&data);\n\
+             }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(check_lock_discipline_with(&files, &graph, &[]), Vec::new());
+    }
+
+    #[test]
+    fn r10_temporary_guard_spans_its_trailing_block() {
+        // `for … in m.lock().iter() { … }` holds the guard for the whole
+        // loop body, so a lock taken inside the body is nested.
+        let files = vec![store_file(
+            "fn sweep(&self) {\n\
+                 for e in self.map.lock().iter() {\n\
+                     self.stats.lock().bump(e);\n\
+                 }\n\
+             }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let v = check_lock_discipline_with(&files, &graph, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn r10_allowlist_excuses_and_goes_stale() {
+        let allow: &[(&str, &str, &str)] =
+            &[("crates/rnb-store/src/shard.rs", "swap", "fixture reason")];
+        let dirty = vec![store_file(
+            "fn swap(&self) { let a = self.l.lock(); let b = self.r.lock(); drop((a, b)); }\n",
+        )];
+        let graph = CallGraph::build(&dirty);
+        assert_eq!(
+            check_lock_discipline_with(&dirty, &graph, allow),
+            Vec::new()
+        );
+        let clean = vec![store_file(
+            "fn swap(&self) { let a = self.l.lock(); drop(a); }\n",
+        )];
+        let graph = CallGraph::build(&clean);
+        let v = check_lock_discipline_with(&clean, &graph, allow);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn r10_ignores_files_outside_the_store() {
+        let files = vec![SourceFile::new(
+            "crates/rnb-sim/src/lru.rs",
+            "fn f(&self) { let a = m.lock(); let b = n.lock(); drop((a, b)); }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        assert_eq!(check_lock_discipline_with(&files, &graph, &[]), Vec::new());
+    }
+
+    // -------- R0 --------
+
+    #[test]
+    fn r0_flags_duplicate_registry_keys_only() {
+        let clean = self_check_with(&[("LIST", vec!["a".into(), "b".into()])]);
+        assert_eq!(clean, Vec::new());
+        let v = self_check_with(&[("LIST", vec!["a".into(), "b".into(), "a".into()])]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R0/lint-self-check");
+        assert!(v[0].message.contains("duplicate key `a` in LIST"));
+    }
+
+    #[test]
+    fn r0_real_registries_are_well_formed() {
+        assert_eq!(self_check(), Vec::new());
     }
 }
