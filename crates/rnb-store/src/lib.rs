@@ -20,6 +20,11 @@
 //!   `-m`-bounded slab+LRU behaviour at item granularity.
 //! * [`store::Store`] — a sharded concurrent store (parking_lot mutex per
 //!   shard, xxHash shard selection) with memcached-style counters.
+//! * [`replicated`] — flat-combining replication for hot shards: shards
+//!   promoted under skewed (Zipf) load serve reads from per-thread
+//!   replicas and funnel writes through an operation-log combiner, one
+//!   primary lock per drained batch (DESIGN.md "Flat combining &
+//!   hot-shard replication").
 //! * [`protocol`] — the memcached **text protocol** subset the experiments
 //!   need: `get` (multi-key), `set`, `delete`, `stats`, `version`, `quit`.
 //! * [`server`] / [`client`] — a threaded TCP server and a blocking
@@ -35,6 +40,7 @@ pub mod client;
 pub mod clock;
 pub mod loadgen;
 pub mod protocol;
+pub mod replicated;
 pub mod server;
 pub mod shard;
 pub mod stats;
@@ -44,6 +50,7 @@ pub mod udp;
 pub use client::StoreClient;
 pub use clock::{Clock, RealClock, TestClock, Tick};
 pub use loadgen::{run_load, run_load_with_clock, LoadReport, LoadSpec};
+pub use replicated::{Dispatch, ReadOp, ReadOutcome, WriteOp, WriteOutcome};
 pub use server::{serve_connection, ConnScratch, ServerConfig, StoreServer};
-pub use store::{GetScratch, Store};
+pub use store::{GetScratch, HotConfig, Store};
 pub use udp::{UdpStoreClient, UdpStoreServer};

@@ -1,0 +1,821 @@
+//! Flat-combining replication for hot shards.
+//!
+//! Under Zipf-skewed traffic a few shards absorb most of the load and
+//! their mutexes serialize every reader — the in-store reappearance of
+//! the per-transaction bottleneck the RnB paper attacks at the cluster
+//! level. This module removes it with the operation-log design from
+//! node-replication:
+//!
+//! * every mutation of a hot shard is a self-contained [`WriteOp`]
+//!   appended to an **operation log** together with the clock tick it
+//!   runs at, so TTL decisions stay a pure function of injected time on
+//!   every replay;
+//! * each reader thread serves lookups from a **read replica** of the
+//!   shard, catching up on the log prefix it has not yet applied — no
+//!   shared mutex on the read path, only the replica's own;
+//! * writers funnel through a **flat combiner**: they enqueue their op,
+//!   and one thread (whoever wins the combiner token) drains the whole
+//!   queue, appends it to the log, and applies the batch to the primary
+//!   shard under a *single* lock acquisition — one lock per drained
+//!   batch, not one per write.
+//!
+//! Consistency: the published log tail is advanced *before* results are
+//! delivered, and a reader first loads the tail, then brings its replica
+//! up to it. A read that starts after a write completed therefore always
+//! observes that write (read-your-writes per client, total order across
+//! clients from the log). Replica state is a pure function of
+//! `(promotion-time copy, applied log prefix)` — the log/replica
+//! consistency invariant in INVARIANTS.md.
+//!
+//! The [`Dispatch`] trait is the seam between the replication machinery
+//! and the sequential [`Shard`]: the combiner and the replicas never
+//! touch shard internals, they only `dispatch_mut` logged operations at
+//! recorded ticks.
+
+use crate::clock::{Clock, Tick};
+use crate::shard::{key_hash, ArithOutcome, CasOutcome, SetOutcome, Shard, Value};
+use crate::stats::StoreStats;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Once a hot shard's log holds this many unreclaimed entries, the
+/// combiner force-syncs every replica to the published tail and drops
+/// the fully-applied prefix.
+const LOG_COMPACT_THRESHOLD: usize = 1024;
+
+/// A read-only operation over the shard surface.
+#[derive(Debug, Clone, Copy)]
+pub enum ReadOp<'a> {
+    /// Look up a key's value (flags + CAS token included).
+    Get(&'a [u8]),
+    /// Probe for presence without materialising the value.
+    Contains(&'a [u8]),
+}
+
+/// Response to a [`ReadOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Result of [`ReadOp::Get`].
+    Value(Option<Value>),
+    /// Result of [`ReadOp::Contains`].
+    Contains(bool),
+}
+
+/// A mutation of the shard surface, self-contained (owned key/value
+/// bytes) so it can be queued by one thread, logged, and replayed on
+/// every replica.
+#[derive(Debug)]
+pub enum WriteOp {
+    /// Unconditional store (`set`).
+    Set {
+        /// Key bytes.
+        key: Arc<[u8]>,
+        /// Value bytes.
+        value: Arc<[u8]>,
+        /// Client-opaque flags.
+        flags: u32,
+        /// Pinned entries are never evicted.
+        pinned: bool,
+        /// Optional expiry relative to the tick the op is applied at.
+        ttl: Option<Duration>,
+    },
+    /// Store only if absent (`add`).
+    Add {
+        /// Key bytes.
+        key: Arc<[u8]>,
+        /// Value bytes.
+        value: Arc<[u8]>,
+        /// Client-opaque flags.
+        flags: u32,
+        /// Optional expiry.
+        ttl: Option<Duration>,
+    },
+    /// Store only if present (`replace`).
+    Replace {
+        /// Key bytes.
+        key: Arc<[u8]>,
+        /// Value bytes.
+        value: Arc<[u8]>,
+        /// Client-opaque flags.
+        flags: u32,
+        /// Optional expiry.
+        ttl: Option<Duration>,
+    },
+    /// Compare-and-swap against a token from a previous read.
+    Cas {
+        /// Key bytes.
+        key: Arc<[u8]>,
+        /// Replacement value bytes.
+        value: Arc<[u8]>,
+        /// Client-opaque flags.
+        flags: u32,
+        /// The CAS token the entry must still carry.
+        token: u64,
+        /// Optional expiry.
+        ttl: Option<Duration>,
+    },
+    /// `incr` (`negative = false`) / `decr` (`negative = true`).
+    Arith {
+        /// Key bytes.
+        key: Arc<[u8]>,
+        /// Magnitude of the adjustment.
+        delta: u64,
+        /// True for `decr`.
+        negative: bool,
+    },
+    /// Remove a key.
+    Delete {
+        /// Key bytes.
+        key: Arc<[u8]>,
+    },
+}
+
+/// Response to a [`WriteOp`], mirroring its variants: `dispatch_mut`
+/// maps each operation to its same-named outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Outcome of [`WriteOp::Set`].
+    Set(SetOutcome),
+    /// Outcome of [`WriteOp::Add`] / [`WriteOp::Replace`] (`None` means
+    /// the presence precondition failed).
+    Conditional(Option<SetOutcome>),
+    /// Outcome of [`WriteOp::Cas`].
+    Cas(CasOutcome),
+    /// Outcome of [`WriteOp::Arith`].
+    Arith(ArithOutcome),
+    /// Outcome of [`WriteOp::Delete`]: true if the key existed.
+    Deleted(bool),
+}
+
+/// Terminal branch for a structurally impossible outcome variant:
+/// `dispatch_mut` maps every [`WriteOp`] variant to its same-named
+/// [`WriteOutcome`] variant, and the combiner delivers each op's own
+/// outcome to its own slot, so the typed accessors below can never see a
+/// foreign variant. Registered in `PANIC_INVARIANT_REGISTRY` (R9).
+fn outcome_mismatch(outcome: &WriteOutcome) -> ! {
+    unreachable!("dispatch_mut returned a mismatched outcome variant: {outcome:?}")
+}
+
+impl WriteOutcome {
+    /// The [`SetOutcome`] of a [`WriteOp::Set`].
+    pub(crate) fn into_set(self) -> SetOutcome {
+        match self {
+            WriteOutcome::Set(o) => o,
+            ref other => outcome_mismatch(other),
+        }
+    }
+
+    /// The optional [`SetOutcome`] of an add/replace.
+    pub(crate) fn into_conditional(self) -> Option<SetOutcome> {
+        match self {
+            WriteOutcome::Conditional(o) => o,
+            ref other => outcome_mismatch(other),
+        }
+    }
+
+    /// The [`CasOutcome`] of a [`WriteOp::Cas`].
+    pub(crate) fn into_cas(self) -> CasOutcome {
+        match self {
+            WriteOutcome::Cas(o) => o,
+            ref other => outcome_mismatch(other),
+        }
+    }
+
+    /// The [`ArithOutcome`] of a [`WriteOp::Arith`].
+    pub(crate) fn into_arith(self) -> ArithOutcome {
+        match self {
+            WriteOutcome::Arith(o) => o,
+            ref other => outcome_mismatch(other),
+        }
+    }
+
+    /// The deletion flag of a [`WriteOp::Delete`].
+    pub(crate) fn into_deleted(self) -> bool {
+        match self {
+            WriteOutcome::Deleted(o) => o,
+            ref other => outcome_mismatch(other),
+        }
+    }
+}
+
+/// The seam between the replication machinery and a sequential state
+/// machine: apply read/write operations at an explicit clock tick.
+/// Replaying the same operations at the same ticks against equal states
+/// must yield equal states and equal outcomes — that determinism is what
+/// lets the log stand in for the state.
+pub trait Dispatch {
+    /// Apply a read-only operation at tick `now` (must not mutate).
+    fn dispatch(&self, op: ReadOp<'_>, now: Tick) -> ReadOutcome;
+    /// Apply a mutation at tick `now`, returning its outcome.
+    fn dispatch_mut(&mut self, op: &WriteOp, now: Tick) -> WriteOutcome;
+}
+
+impl Dispatch for Shard {
+    fn dispatch(&self, op: ReadOp<'_>, now: Tick) -> ReadOutcome {
+        match op {
+            ReadOp::Get(key) => ReadOutcome::Value(self.peek_at(key_hash(key), key, now)),
+            ReadOp::Contains(key) => ReadOutcome::Contains(self.contains_at(key, now)),
+        }
+    }
+
+    fn dispatch_mut(&mut self, op: &WriteOp, now: Tick) -> WriteOutcome {
+        match op {
+            WriteOp::Set {
+                key,
+                value,
+                flags,
+                pinned,
+                ttl,
+            } => WriteOutcome::Set(self.set_full_at(key, value, *flags, *pinned, *ttl, now)),
+            WriteOp::Add {
+                key,
+                value,
+                flags,
+                ttl,
+            } => WriteOutcome::Conditional(self.add_at(key, value, *flags, *ttl, now)),
+            WriteOp::Replace {
+                key,
+                value,
+                flags,
+                ttl,
+            } => WriteOutcome::Conditional(self.replace_at(key, value, *flags, *ttl, now)),
+            WriteOp::Cas {
+                key,
+                value,
+                flags,
+                token,
+                ttl,
+            } => WriteOutcome::Cas(self.cas_at(key, value, *flags, *token, *ttl, now)),
+            WriteOp::Arith {
+                key,
+                delta,
+                negative,
+            } => WriteOutcome::Arith(self.arith_at(key, *delta, *negative, now)),
+            WriteOp::Delete { key } => WriteOutcome::Deleted(self.delete(key)),
+        }
+    }
+}
+
+/// One log record: the operation plus the tick it executes at. Entries
+/// are shared (`Arc`) between the log and in-flight apply/catch-up
+/// copies so draining the log never copies key/value bytes.
+#[derive(Debug)]
+struct LogEntry {
+    op: WriteOp,
+    at: Tick,
+}
+
+/// The append-only operation log. `base` is the log index of
+/// `entries[0]`; indices below `base` have been applied by every replica
+/// and compacted away.
+#[derive(Debug)]
+struct OpLog {
+    base: u64,
+    entries: Vec<Arc<LogEntry>>,
+}
+
+/// A per-thread read replica: a full copy of the shard plus the log
+/// index up to which it has applied operations. `applied` is only
+/// advanced while `data` is held, so the pair is always consistent.
+#[derive(Debug)]
+struct Replica {
+    data: Mutex<Shard>,
+    applied: AtomicU64,
+}
+
+/// A write waiting in the combiner queue together with the slot its
+/// outcome will be delivered to.
+struct Pending {
+    op: WriteOp,
+    slot: Arc<WriteSlot>,
+}
+
+/// Outcome mailbox for one queued write. `done` is set (release) only
+/// after the outcome is stored, and the waiting writer loads it
+/// (acquire) before taking the result, so a `done` slot always holds an
+/// outcome.
+struct WriteSlot {
+    done: AtomicBool,
+    result: Mutex<Option<WriteOutcome>>,
+}
+
+impl WriteSlot {
+    fn new() -> Self {
+        WriteSlot {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+        }
+    }
+
+    fn deliver(&self, outcome: WriteOutcome) {
+        *self.result.lock() = Some(outcome);
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn take_result(&self) -> WriteOutcome {
+        match self.result.lock().take() {
+            Some(outcome) => outcome,
+            // Unreachable by the deliver/take protocol above; registered
+            // in PANIC_INVARIANT_REGISTRY (R9).
+            None => unreachable!("write slot marked done before its outcome was delivered"),
+        }
+    }
+}
+
+/// Pick this thread's replica: thread ids are handed out once per thread
+/// from a process-wide counter, so a thread keeps hitting the same
+/// replica (warm cache, monotonic reads) while threads spread across
+/// replicas round-robin.
+fn replica_slot(count: usize) -> usize {
+    static NEXT_READER: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static READER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+    let id = READER_ID.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_READER.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    });
+    id % count.max(1)
+}
+
+/// The replication harness wrapped around one hot shard. The primary
+/// shard itself stays where it always lived (inside the store's shard
+/// mutex) — the store passes it in on each write so the combiner can
+/// apply batches to it; this type owns the log, the write queue and the
+/// read replicas.
+pub(crate) struct HotShard {
+    replicas: Vec<Replica>,
+    log: Mutex<OpLog>,
+    /// Published log length: a write is visible once the tail covering
+    /// it is stored (release). Readers load it (acquire) and catch their
+    /// replica up to it before serving.
+    tail: AtomicU64,
+    queue: Mutex<Vec<Pending>>,
+    /// The flat-combining token: the writer that CASes it takes over
+    /// draining the queue for everyone.
+    combining: AtomicBool,
+    clock: Clock,
+    stats: Arc<StoreStats>,
+    /// Primary-mutex acquisitions made by the combiner; the stress test
+    /// asserts one per drained batch.
+    #[cfg(test)]
+    pub(crate) primary_locks: AtomicU64,
+    /// Batches drained by the combiner on this shard.
+    #[cfg(test)]
+    pub(crate) batches: AtomicU64,
+}
+
+impl HotShard {
+    /// Build the replication harness for `seed`, copying it once per
+    /// replica. The caller keeps `seed` as the primary; from promotion
+    /// on, it must only be mutated through [`HotShard::write`].
+    pub(crate) fn new(seed: &Shard, replica_count: usize, stats: Arc<StoreStats>) -> Self {
+        let replicas = (0..replica_count.max(1))
+            .map(|_| Replica {
+                data: Mutex::new(seed.replica_copy()),
+                applied: AtomicU64::new(0),
+            })
+            .collect();
+        HotShard {
+            replicas,
+            log: Mutex::new(OpLog {
+                base: 0,
+                entries: Vec::new(),
+            }),
+            tail: AtomicU64::new(0),
+            queue: Mutex::new(Vec::new()),
+            combining: AtomicBool::new(false),
+            clock: seed.clock_handle(),
+            stats,
+            #[cfg(test)]
+            primary_locks: AtomicU64::new(0),
+            #[cfg(test)]
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit a write and wait for its outcome. The calling thread
+    /// either becomes the combiner (drains the queue, appends the batch
+    /// to the log, applies it to `primary` under one lock) or spins
+    /// until the active combiner delivers its outcome.
+    pub(crate) fn write(&self, op: WriteOp, primary: &Mutex<Shard>) -> WriteOutcome {
+        let slot = Arc::new(WriteSlot::new());
+        self.queue.lock().push(Pending {
+            op,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            if slot.done.load(Ordering::Acquire) {
+                return slot.take_result();
+            }
+            if self
+                .combining
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.combine(primary);
+                self.combining.store(false, Ordering::Release);
+            } else {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// The combiner loop: drain the queue, log the batch at one tick,
+    /// apply it to the primary under a single lock acquisition, deliver
+    /// outcomes, repeat until the queue is empty. Runs with the
+    /// `combining` token held.
+    fn combine(&self, primary: &Mutex<Shard>) {
+        loop {
+            let batch: Vec<Pending> = {
+                let mut queue = self.queue.lock();
+                std::mem::take(&mut *queue)
+            };
+            if batch.is_empty() {
+                return;
+            }
+            // One clock read per batch: every op in it executes at the
+            // same tick, on the primary now and on every replica later.
+            let at = self.clock.now();
+            let mut entries = Vec::with_capacity(batch.len());
+            let mut slots = Vec::with_capacity(batch.len());
+            for pending in batch {
+                entries.push(Arc::new(LogEntry { op: pending.op, at }));
+                slots.push(pending.slot);
+            }
+            let tail = {
+                let mut log = self.log.lock();
+                for entry in &entries {
+                    log.entries.push(Arc::clone(entry));
+                }
+                let tail = log.base + log.entries.len() as u64;
+                // Publish before applying: a reader that catches up to
+                // this tail replays exactly the ops the primary is about
+                // to contain.
+                self.tail.store(tail, Ordering::Release);
+                tail
+            };
+            let outcomes: Vec<WriteOutcome> = {
+                let mut shard = primary.lock();
+                #[cfg(test)]
+                self.primary_locks.fetch_add(1, Ordering::Relaxed);
+                entries
+                    .iter()
+                    .map(|entry| shard.dispatch_mut(&entry.op, entry.at))
+                    .collect()
+            };
+            debug_assert_eq!(
+                outcomes.len(),
+                slots.len(),
+                "combiner must produce exactly one outcome per drained write"
+            );
+            #[cfg(test)]
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats.combiner_batches.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .log_appends
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
+            for (slot, outcome) in slots.into_iter().zip(outcomes) {
+                slot.deliver(outcome);
+            }
+            self.compact(tail);
+        }
+    }
+
+    /// Bound the log: once it crosses [`LOG_COMPACT_THRESHOLD`], sync
+    /// every replica to `tail` and drop the prefix all replicas have
+    /// applied. Called by the combiner between batches, with no lock
+    /// held on entry.
+    fn compact(&self, tail: u64) {
+        let over_threshold = {
+            let log = self.log.lock();
+            log.entries.len() >= LOG_COMPACT_THRESHOLD
+        };
+        if !over_threshold {
+            return;
+        }
+        for replica in &self.replicas {
+            if replica.applied.load(Ordering::Acquire) < tail {
+                self.catch_up(replica, tail);
+            }
+        }
+        let mut log = self.log.lock();
+        let min_applied = self
+            .replicas
+            .iter()
+            .map(|r| r.applied.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(log.base);
+        let drop_to = min_applied.min(log.base + log.entries.len() as u64);
+        if drop_to > log.base {
+            let n = (drop_to - log.base) as usize;
+            log.entries.drain(..n);
+            log.base = drop_to;
+        }
+    }
+
+    /// Serve a batched lookup from this thread's replica, first applying
+    /// any log suffix the replica has not seen. Same `(hash, key, pos)`
+    /// batch contract as `Shard::get_many`; returns the hit count.
+    pub(crate) fn read_many<'k, I>(&self, batch: I, out: &mut [Option<Value>]) -> usize
+    where
+        I: IntoIterator<Item = (u64, &'k [u8], usize)>,
+    {
+        let target = self.tail.load(Ordering::Acquire);
+        self.read_many_on(replica_slot(self.replicas.len()), target, batch, out)
+    }
+
+    /// [`read_many`](HotShard::read_many) pinned to a specific replica
+    /// and tail (the oracle tests iterate replicas explicitly).
+    fn read_many_on<'k, I>(
+        &self,
+        idx: usize,
+        target: u64,
+        batch: I,
+        out: &mut [Option<Value>],
+    ) -> usize
+    where
+        I: IntoIterator<Item = (u64, &'k [u8], usize)>,
+    {
+        let replica = &self.replicas[idx % self.replicas.len().max(1)];
+        if replica.applied.load(Ordering::Acquire) < target {
+            self.catch_up(replica, target);
+        }
+        let shard = replica.data.lock();
+        shard.peek_many(batch, out)
+    }
+
+    /// Apply the log suffix `[replica.applied, target)` to `replica`.
+    /// Entries are copied out under a short log guard, then applied
+    /// under the replica's own guard; `applied` is re-read under that
+    /// guard so concurrent catch-ups of the same replica never replay an
+    /// operation twice.
+    fn catch_up(&self, replica: &Replica, target: u64) {
+        loop {
+            let from = replica.applied.load(Ordering::Acquire);
+            if from >= target {
+                return;
+            }
+            let (start, pending) = {
+                let log = self.log.lock();
+                debug_assert!(
+                    from >= log.base,
+                    "log compacted past a replica's applied tail"
+                );
+                let lo = (from.saturating_sub(log.base)) as usize;
+                let copied: Vec<Arc<LogEntry>> = log
+                    .entries
+                    .get(lo..)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(Arc::clone)
+                    .collect();
+                (log.base + lo as u64, copied)
+            };
+            if pending.is_empty() {
+                return;
+            }
+            let mut shard = replica.data.lock();
+            let mut applied = replica.applied.load(Ordering::Relaxed);
+            for (offset, entry) in pending.iter().enumerate() {
+                let index = start + offset as u64;
+                if index < applied {
+                    continue;
+                }
+                shard.dispatch_mut(&entry.op, entry.at);
+                applied = index + 1;
+            }
+            replica.applied.store(applied, Ordering::Release);
+            drop(shard);
+        }
+    }
+
+    /// Unapplied log entries currently buffered (test introspection).
+    #[cfg(test)]
+    fn log_len(&self) -> usize {
+        self.log.lock().entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+    use proptest::prelude::*;
+
+    const REPLICAS: usize = 3;
+
+    /// A hot-shard harness over an empty shard on a virtual timeline.
+    fn harness(mem: usize) -> (Mutex<Shard>, HotShard, TestClock) {
+        let clock = TestClock::new();
+        let seed = Shard::with_clock(mem, clock.clone().into());
+        let hot = HotShard::new(&seed, REPLICAS, Arc::new(StoreStats::default()));
+        (Mutex::new(seed), hot, clock)
+    }
+
+    fn read_one(hot: &HotShard, replica: usize, key: &[u8]) -> Option<Value> {
+        let target = hot.tail.load(Ordering::Acquire);
+        let mut out = [None];
+        hot.read_many_on(
+            replica,
+            target,
+            std::iter::once((key_hash(key), key, 0usize)),
+            &mut out,
+        );
+        out[0].take()
+    }
+
+    #[test]
+    fn write_read_roundtrip_all_replicas() {
+        let (primary, hot, _clock) = harness(1 << 20);
+        let outcome = hot.write(
+            WriteOp::Set {
+                key: Arc::from(&b"k"[..]),
+                value: Arc::from(&b"v"[..]),
+                flags: 9,
+                pinned: false,
+                ttl: None,
+            },
+            &primary,
+        );
+        assert!(matches!(
+            outcome.into_set(),
+            SetOutcome::Stored { evicted: 0 }
+        ));
+        for r in 0..REPLICAS {
+            let v = read_one(&hot, r, b"k").expect("replica {r} missed the write");
+            assert_eq!(&v.data[..], b"v");
+            assert_eq!(v.flags, 9);
+        }
+        // The primary saw the same write.
+        assert_eq!(&primary.lock().get(b"k").unwrap().data[..], b"v");
+    }
+
+    #[test]
+    fn log_compacts_once_replicas_catch_up() {
+        let (primary, hot, _clock) = harness(1 << 22);
+        let rounds = LOG_COMPACT_THRESHOLD + 50;
+        for i in 0..rounds {
+            let key = format!("k{}", i % 64).into_bytes();
+            hot.write(
+                WriteOp::Set {
+                    key: Arc::from(&key[..]),
+                    value: Arc::from(&key[..]),
+                    flags: 0,
+                    pinned: false,
+                    ttl: None,
+                },
+                &primary,
+            )
+            .into_set();
+        }
+        assert!(
+            hot.log_len() < LOG_COMPACT_THRESHOLD,
+            "log never compacted: {} entries buffered",
+            hot.log_len()
+        );
+        // Reads are still correct after compaction on every replica.
+        for r in 0..REPLICAS {
+            let v = read_one(&hot, r, b"k0").expect("k0 lost after compaction");
+            assert_eq!(&v.data[..], b"k0");
+        }
+    }
+
+    #[test]
+    fn combiner_takes_one_lock_per_drained_batch() {
+        // The lock-count invariant (INVARIANTS.md): however the races
+        // land, primary-mutex acquisitions == drained batches, and every
+        // write is applied exactly once.
+        let clock = TestClock::new();
+        let seed = Shard::with_clock(1 << 22, clock.clone().into());
+        let stats = Arc::new(StoreStats::default());
+        let hot = Arc::new(HotShard::new(&seed, 2, Arc::clone(&stats)));
+        let primary = Arc::new(Mutex::new(seed));
+        let threads = 4;
+        let per_thread = 300u32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let hot = Arc::clone(&hot);
+                let primary = Arc::clone(&primary);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let key = format!("t{t}-k{i}").into_bytes();
+                        let outcome = hot.write(
+                            WriteOp::Set {
+                                key: Arc::from(&key[..]),
+                                value: Arc::from(&key[..]),
+                                flags: t,
+                                pinned: false,
+                                ttl: None,
+                            },
+                            &primary,
+                        );
+                        assert!(matches!(outcome.into_set(), SetOutcome::Stored { .. }));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = u64::from(per_thread) * threads as u64;
+        let locks = hot.primary_locks.load(Ordering::Relaxed);
+        let batches = hot.batches.load(Ordering::Relaxed);
+        assert_eq!(locks, batches, "combiner must lock once per batch");
+        assert!(batches >= 1 && batches <= total);
+        assert_eq!(stats.log_appends.load(Ordering::Relaxed), total);
+        assert_eq!(stats.combiner_batches.load(Ordering::Relaxed), batches);
+        // Every replica, once caught up, agrees with the primary on
+        // every key — replica state is a function of the log alone.
+        for t in 0..threads {
+            for i in 0..per_thread {
+                let key = format!("t{t}-k{i}").into_bytes();
+                let expect = primary.lock().get(&key).expect("primary lost a write");
+                for r in 0..2 {
+                    let got = read_one(&hot, r, &key).expect("replica lost a write");
+                    assert_eq!(got, expect);
+                }
+            }
+        }
+    }
+
+    /// Outcome of driving one op against the sequential oracle.
+    fn oracle_apply(shard: &mut Shard, op: &WriteOp) -> WriteOutcome {
+        let now = shard.now();
+        shard.dispatch_mut(op, now)
+    }
+
+    proptest! {
+        /// The flat-combined shard is observably equivalent to the
+        /// sequential `Shard` under any interleaved op sequence,
+        /// including TTL edges driven by the shared `TestClock`: every
+        /// write outcome matches, and after every step each replica
+        /// serves exactly what the oracle serves.
+        #[test]
+        fn flat_combined_matches_sequential_oracle(
+            ops in proptest::collection::vec(
+                (0u8..6, 0u32..10, 0usize..24, (any::<bool>(), 0u64..60), 0u64..40, any::<bool>()),
+                1..80),
+        ) {
+            let clock = TestClock::new();
+            let mut oracle = Shard::with_clock(1 << 20, clock.clone().into());
+            let seed = Shard::with_clock(1 << 20, clock.clone().into());
+            let hot = HotShard::new(&seed, REPLICAS, Arc::new(StoreStats::default()));
+            let primary = Mutex::new(seed);
+            for (step, (kind, keyn, vlen, (has_ttl, ttl_ns), advance_ns, negative)) in
+                ops.into_iter().enumerate()
+            {
+                let key: Arc<[u8]> = Arc::from(format!("k{keyn}").into_bytes().as_slice());
+                let value: Arc<[u8]> = Arc::from(vec![b'0' + (vlen as u8 % 10); vlen].as_slice());
+                let ttl = has_ttl.then(|| Duration::from_nanos(ttl_ns));
+                let op = match kind {
+                    0 => WriteOp::Set {
+                        key: Arc::clone(&key), value, flags: keyn, pinned: false, ttl,
+                    },
+                    1 => WriteOp::Add {
+                        key: Arc::clone(&key), value, flags: keyn, ttl,
+                    },
+                    2 => WriteOp::Replace {
+                        key: Arc::clone(&key), value, flags: keyn, ttl,
+                    },
+                    3 => {
+                        // Token from the oracle's current state: stale or
+                        // fresh depending on history — both paths must
+                        // agree either way.
+                        let token = oracle.get(&key).map(|v| v.cas).unwrap_or(7777);
+                        WriteOp::Cas {
+                            key: Arc::clone(&key), value, flags: keyn, token, ttl,
+                        }
+                    }
+                    4 => WriteOp::Arith { key: Arc::clone(&key), delta: 3, negative },
+                    _ => WriteOp::Delete { key: Arc::clone(&key) },
+                };
+                let expect = oracle_apply(&mut oracle, &op);
+                let got = hot.write(op, &primary);
+                prop_assert_eq!(got, expect, "outcome diverged at step {}", step);
+                clock.advance(Duration::from_nanos(advance_ns));
+                // After the advance, every replica must serve exactly
+                // what the oracle serves for every key in the keyspace.
+                for probe in 0..10u32 {
+                    let pk = format!("k{probe}").into_bytes();
+                    let want = oracle.peek_at(key_hash(&pk), &pk, oracle.now());
+                    for r in 0..REPLICAS {
+                        let got = read_one(&hot, r, &pk);
+                        prop_assert_eq!(
+                            &got, &want,
+                            "replica {} diverged on {:?} at step {}", r, pk, step
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

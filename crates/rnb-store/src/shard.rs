@@ -86,7 +86,7 @@ pub struct Value {
     pub cas: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     key: Box<[u8]>,
     value: Arc<[u8]>,
@@ -128,7 +128,7 @@ fn probe_start(hash: u64, mask: usize) -> usize {
 /// pair. The hash is computed by the caller exactly once and stored in
 /// the node, which is what lets [`Shard::get_many`] skip per-key
 /// rehashing entirely.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct KeyIndex {
     /// `EMPTY`, `TOMB`, or `slot + 2`. Length is a power of two (or zero
     /// before the first insert); at least one bucket is always `EMPTY`,
@@ -375,13 +375,98 @@ impl Shard {
         hits
     }
 
+    /// Non-mutating single-key lookup: resolves against the index and
+    /// the given tick without LRU promotion and without reclaiming
+    /// expired entries. This is the read replicas' serving step
+    /// ([`peek_many`](Shard::peek_many)) — replicas must stay a pure
+    /// function of the applied operation log, so reads may not mutate.
+    pub(crate) fn peek_at(&self, hash: u64, key: &[u8], now: Tick) -> Option<Value> {
+        let idx = self.index.find(hash, key, &self.nodes)?;
+        if self.nodes[idx].expired(now) {
+            return None;
+        }
+        Some(Value {
+            data: Arc::clone(&self.nodes[idx].value),
+            flags: self.nodes[idx].flags,
+            cas: self.nodes[idx].cas,
+        })
+    }
+
+    /// Batched non-mutating lookup: the replica-read counterpart of
+    /// [`get_many`](Shard::get_many). Same `(hash, key, pos)` batch
+    /// contract and one clock read per batch, but takes `&self`: no LRU
+    /// promotion and no lazy expiry removal, so concurrent replica
+    /// readers only need a shared data guard and replica state remains
+    /// determined by the log alone. Returns the number of hits.
+    pub(crate) fn peek_many<'k, I>(&self, batch: I, out: &mut [Option<Value>]) -> usize
+    where
+        I: IntoIterator<Item = (u64, &'k [u8], usize)>,
+    {
+        let now = self.clock.now();
+        let mut hits = 0;
+        for (hash, key, pos) in batch {
+            let value = self.peek_at(hash, key, now);
+            hits += usize::from(value.is_some());
+            if let Some(out_slot) = out.get_mut(pos) {
+                *out_slot = value;
+            }
+        }
+        hits
+    }
+
     /// Presence probe without LRU promotion (expired entries report
     /// absent but are left for lazy removal).
     pub fn contains(&self, key: &[u8]) -> bool {
         let now = self.clock.now();
+        self.contains_at(key, now)
+    }
+
+    /// [`contains`](Shard::contains) against an explicit tick.
+    pub(crate) fn contains_at(&self, key: &[u8], now: Tick) -> bool {
         self.index
             .find(key_hash(key), key, &self.nodes)
             .is_some_and(|idx| !self.nodes[idx].expired(now))
+    }
+
+    /// The current tick of the injected clock (test oracles drive
+    /// [`Dispatch`](crate::replicated::Dispatch) at an explicit tick).
+    #[cfg(test)]
+    pub(crate) fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// A handle to the shard's injected clock (clones share the
+    /// timeline), used when promoting the shard to a replicated hot
+    /// shard so log ticks come from the same time source.
+    pub(crate) fn clock_handle(&self) -> Clock {
+        self.clock.clone()
+    }
+
+    /// A deep copy of this shard for use as a read replica: same
+    /// entries, same LRU order, same CAS counter, same clock timeline.
+    /// Because the copy and the original agree on every piece of state
+    /// an operation consults, replaying the same operation log against
+    /// both yields identical outcomes — the log/replica consistency
+    /// invariant (INVARIANTS.md).
+    pub(crate) fn replica_copy(&self) -> Shard {
+        let copy = Shard {
+            index: self.index.clone(),
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            head: self.head,
+            tail: self.tail,
+            mem_used: self.mem_used,
+            unpinned_bytes: self.unpinned_bytes,
+            mem_limit: self.mem_limit,
+            cas_counter: self.cas_counter,
+            clock: self.clock.clone(),
+        };
+        debug_assert_eq!(
+            copy.len(),
+            self.len(),
+            "replica copy must preserve the entry count"
+        );
+        copy
     }
 
     /// Store `key` → `value`, evicting LRU entries as needed.
@@ -401,6 +486,22 @@ impl Shard {
         ttl: Option<Duration>,
     ) -> SetOutcome {
         let now = self.clock.now();
+        self.set_full_at(key, value, flags, pinned, ttl, now)
+    }
+
+    /// [`set_full`](Shard::set_full) against an explicit tick. The
+    /// replicated write path records one tick per combined batch and
+    /// replays every operation in the batch at that tick, so primary and
+    /// replicas make identical TTL/eviction decisions.
+    pub(crate) fn set_full_at(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        pinned: bool,
+        ttl: Option<Duration>,
+        now: Tick,
+    ) -> SetOutcome {
         let hash = key_hash(key);
         let new_cost = entry_cost(key, value);
         let expires_at = ttl.map(|d| now.saturating_add(duration_to_ticks(d)));
@@ -450,7 +551,7 @@ impl Shard {
                 self.unpinned_bytes += new_cost;
                 self.push_front(idx);
             }
-            let evicted = self.evict_to_fit(idx);
+            let evicted = self.evict_to_fit(idx, now);
             return SetOutcome::Stored { evicted };
         }
 
@@ -481,7 +582,7 @@ impl Shard {
             self.unpinned_bytes += new_cost;
             self.push_front(idx);
         }
-        let evicted = self.evict_to_fit(idx);
+        let evicted = self.evict_to_fit(idx, now);
         SetOutcome::Stored { evicted }
     }
 
@@ -504,10 +605,23 @@ impl Shard {
         flags: u32,
         ttl: Option<Duration>,
     ) -> Option<SetOutcome> {
-        if self.contains(key) {
+        let now = self.clock.now();
+        self.add_at(key, value, flags, ttl, now)
+    }
+
+    /// [`add`](Shard::add) against an explicit tick.
+    pub(crate) fn add_at(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        ttl: Option<Duration>,
+        now: Tick,
+    ) -> Option<SetOutcome> {
+        if self.contains_at(key, now) {
             return None;
         }
-        Some(self.set_full(key, value, flags, false, ttl))
+        Some(self.set_full_at(key, value, flags, false, ttl, now))
     }
 
     /// `replace`: store only if `key` is present. Returns `None` if the
@@ -519,7 +633,20 @@ impl Shard {
         flags: u32,
         ttl: Option<Duration>,
     ) -> Option<SetOutcome> {
-        if !self.contains(key) {
+        let now = self.clock.now();
+        self.replace_at(key, value, flags, ttl, now)
+    }
+
+    /// [`replace`](Shard::replace) against an explicit tick.
+    pub(crate) fn replace_at(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        ttl: Option<Duration>,
+        now: Tick,
+    ) -> Option<SetOutcome> {
+        if !self.contains_at(key, now) {
             return None;
         }
         // Preserve the pinned status on replace.
@@ -528,7 +655,7 @@ impl Shard {
             .find(key_hash(key), key, &self.nodes)
             .map(|idx| self.nodes[idx].pinned)
             .unwrap_or(false);
-        Some(self.set_full(key, value, flags, pinned, ttl))
+        Some(self.set_full_at(key, value, flags, pinned, ttl, now))
     }
 
     /// `cas`: replace only if the entry's token still equals `token`.
@@ -541,6 +668,19 @@ impl Shard {
         ttl: Option<Duration>,
     ) -> CasOutcome {
         let now = self.clock.now();
+        self.cas_at(key, value, flags, token, ttl, now)
+    }
+
+    /// [`cas`](Shard::cas) against an explicit tick.
+    pub(crate) fn cas_at(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        token: u64,
+        ttl: Option<Duration>,
+        now: Tick,
+    ) -> CasOutcome {
         match self.index.find(key_hash(key), key, &self.nodes) {
             None => CasOutcome::NotFound,
             Some(idx) if self.nodes[idx].expired(now) => {
@@ -552,7 +692,7 @@ impl Shard {
                     return CasOutcome::Exists;
                 }
                 let pinned = self.nodes[idx].pinned;
-                match self.set_full(key, value, flags, pinned, ttl) {
+                match self.set_full_at(key, value, flags, pinned, ttl, now) {
                     SetOutcome::Stored { .. } => CasOutcome::Stored,
                     SetOutcome::OutOfMemory => CasOutcome::OutOfMemory,
                 }
@@ -565,7 +705,21 @@ impl Shard {
     /// increments — memcached semantics). The remaining TTL is preserved
     /// exactly in clock ticks.
     pub fn arith(&mut self, key: &[u8], delta: u64, negative: bool) -> ArithOutcome {
-        let Some(current) = self.get(key) else {
+        let now = self.clock.now();
+        self.arith_at(key, delta, negative, now)
+    }
+
+    /// [`arith`](Shard::arith) against an explicit tick: the lookup, the
+    /// TTL-remaining computation and the rewrite all use the same `now`,
+    /// so a log replay reproduces the exact stored deadline.
+    pub(crate) fn arith_at(
+        &mut self,
+        key: &[u8],
+        delta: u64,
+        negative: bool,
+        now: Tick,
+    ) -> ArithOutcome {
+        let Some(current) = self.get_at(key_hash(key), key, now) else {
             return ArithOutcome::NotFound;
         };
         let Ok(text) = std::str::from_utf8(&current.data) else {
@@ -580,7 +734,6 @@ impl Shard {
             n.wrapping_add(delta)
         };
         let rendered = next.to_string();
-        let now = self.clock.now();
         let (pinned, ttl_left) = match self.index.find(key_hash(key), key, &self.nodes) {
             Some(idx) => (
                 self.nodes[idx].pinned,
@@ -590,7 +743,14 @@ impl Shard {
             ),
             None => (false, None),
         };
-        match self.set_full(key, rendered.as_bytes(), current.flags, pinned, ttl_left) {
+        match self.set_full_at(
+            key,
+            rendered.as_bytes(),
+            current.flags,
+            pinned,
+            ttl_left,
+            now,
+        ) {
             SetOutcome::Stored { .. } => ArithOutcome::Value(next),
             // A numeric value is never larger than what it replaces by
             // more than a few bytes; OOM here means the shard is pathological.
@@ -670,14 +830,14 @@ impl Shard {
     /// entries anywhere in the shard are reclaimed first, then live LRU
     /// entries from the tail. Returns how many **live** entries were
     /// evicted.
-    fn evict_to_fit(&mut self, protect: usize) -> usize {
+    fn evict_to_fit(&mut self, protect: usize, now: Tick) -> usize {
         if self.mem_used <= self.mem_limit {
             return 0;
         }
         // Dead entries must never force live data out: reclaim them
         // before touching the LRU tail (§V overbooking relies on LRUs
-        // dropping *cold* replicas, not fresh ones).
-        let now = self.clock.now();
+        // dropping *cold* replicas, not fresh ones). `now` is the tick
+        // the enclosing write runs at, so log replays evict identically.
         self.sweep_expired_except(now, protect);
         let mut evicted = 0;
         while self.mem_used > self.mem_limit && self.tail != NIL {

@@ -8,6 +8,9 @@
 //! * **Monte-Carlo requests** (§III-F, the "simplified simulator"): each
 //!   request is `M` distinct items drawn uniformly and independently from
 //!   the universe — [`mc::UniformRequests`].
+//! * **Zipf-skewed requests**: the same shape with item popularity
+//!   following a Zipf law — [`zipf::ZipfRequests`] — the contention
+//!   workload that exercises the store's hot-shard replication path.
 //!
 //! Plus two transformations:
 //!
@@ -21,11 +24,13 @@ pub mod ego;
 pub mod limit;
 pub mod mc;
 pub mod mix;
+pub mod zipf;
 
 pub use ego::EgoRequests;
 pub use limit::LimitSpec;
 pub use mc::UniformRequests;
 pub use mix::{Op, ReadWriteMix};
+pub use zipf::ZipfRequests;
 
 use rnb_graph::DiGraph;
 
