@@ -32,9 +32,9 @@ use criterion::{criterion_group, Criterion, Throughput};
 use rnb_store::{Clock, GetScratch, HotConfig, Store, StoreServer};
 use rnb_workload::{RequestStream, UniformRequests, ZipfRequests};
 use std::hint::black_box;
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::process::ExitCode;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -200,19 +200,26 @@ fn run_cell(m: usize, shards: usize, vlen: usize, quick: bool) -> Cell {
     }
 }
 
-/// Pipelined multi-get over loopback TCP (reported, not gated: wire
-/// numbers mix in kernel/socket costs that vary across CI machines).
-/// One connection, `depth` in-flight 100-key gets per batch.
-fn run_tcp(quick: bool) -> std::io::Result<(usize, f64)> {
-    const M: usize = 100;
-    const DEPTH: usize = 32;
+/// Keys-per-get and pipeline depth of the loopback-TCP probe.
+const TCP_M: usize = 100;
+const TCP_DEPTH: usize = 32;
+
+/// A populated server for the TCP probe ([`TCP_M`] 10-byte values).
+fn probe_server() -> std::io::Result<StoreServer> {
     let store = Arc::new(Store::new(64 << 20));
-    let keys: Vec<Vec<u8>> = (0..M).map(|i| format!("key-{i:05}").into_bytes()).collect();
-    for k in &keys {
-        store.set(k, &[b'x'; 10], 0, false);
+    for i in 0..TCP_M {
+        store.set(format!("key-{i:05}").as_bytes(), &[b'x'; 10], 0, false);
     }
-    let server = StoreServer::start(store)?;
-    let mut conn = TcpStream::connect(server.addr())?;
+    StoreServer::start(store)
+}
+
+/// Pipelined multi-get items/sec against an already-running server: one
+/// connection, [`TCP_DEPTH`] in-flight [`TCP_M`]-key gets per batch.
+fn tcp_probe(addr: SocketAddr, quick: bool) -> std::io::Result<f64> {
+    const M: usize = TCP_M;
+    const DEPTH: usize = TCP_DEPTH;
+    let keys: Vec<Vec<u8>> = (0..M).map(|i| format!("key-{i:05}").into_bytes()).collect();
+    let mut conn = TcpStream::connect(addr)?;
     conn.set_nodelay(true)?;
 
     let mut get_line = b"get".to_vec();
@@ -255,12 +262,206 @@ fn run_tcp(quick: bool) -> std::io::Result<(usize, f64)> {
     }
     let secs = start.elapsed().as_secs_f64();
     let items = (rounds * DEPTH * M) as f64;
-    Ok((M, items / secs))
+    Ok(items / secs)
+}
+
+/// Pipelined multi-get over loopback TCP on a fresh, otherwise idle
+/// server (reported plus a hardware-conditional baseline gate: absolute
+/// wire numbers mix in kernel/socket costs, so the committed figure is
+/// only compared when the committed `"cores"` matches this machine).
+fn run_tcp(quick: bool) -> std::io::Result<(usize, f64)> {
+    let server = probe_server()?;
+    Ok((TCP_M, tcp_probe(server.addr(), quick)?))
 }
 
 // ---------------------------------------------------------------------
-// Contended readers: threads × skew, mutex arm vs replicated arm.
+// Concurrent-connections axis: the pipelined probe while the server
+// also holds 0 / 1024 / 10000 idle connections — C10K as a bench cell.
 // ---------------------------------------------------------------------
+
+/// Idle-connection counts swept (the 10000 cell is the ISSUE acceptance
+/// criterion: a readiness-multiplexed server holds C10K on a fixed
+/// thread budget; a thread-per-connection server would need 10k stacks).
+const IDLE_CONNS: &[usize] = &[0, 1024, 10_000];
+/// Idle sockets per helper child process. The client halves live in
+/// children because this process already holds the server halves: 2 fds
+/// per connection in one process would double the rlimit bill.
+const IDLE_CHILD_CHUNK: usize = 2_500;
+/// File descriptors reserved for everything that is not an idle server
+/// socket (listener, probe, child pipes, stdio, slack).
+const FD_MARGIN: usize = 512;
+/// `--enforce`: throughput with 10k idle connections parked must stay
+/// above this fraction of the 0-idle figure. A same-run, same-machine
+/// ratio, so the gate is portable. The floor is generous because a
+/// burst that drains between batches pays a sweep-detection latency
+/// (bounded by the poller's max park) before the next batch is noticed
+/// — observed cost is ~0.5-0.7x, a collapse to thread-per-connection
+/// levels would be far below this.
+const MIN_IDLE_RATIO: f64 = 0.35;
+/// `--enforce`, cores-matching only: the probe may not fall more than
+/// this factor below the committed `tcp_pipelined` items/sec.
+const MAX_TCP_REGRESSION: f64 = 1.25;
+
+struct ConnectionsCell {
+    idle: usize,
+    items_per_sec: f64,
+    /// Connections the server actually saw live during the probe.
+    live_conns: usize,
+    /// Server OS threads while holding them (accept + poll + workers).
+    threads: usize,
+}
+
+impl ConnectionsCell {
+    fn key(&self) -> String {
+        format!("idle{}", self.idle)
+    }
+}
+
+/// Soft fd rlimit from `/proc/self/limits` (None off Linux — the sweep
+/// then assumes the default cells fit and reports any spawn failure).
+fn fd_soft_limit() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    text.lines()
+        .find(|l| l.starts_with("Max open files"))?
+        .split_whitespace()
+        .nth(3)?
+        .parse()
+        .ok()
+}
+
+/// Spawn helper processes that each hold a chunk of idle client sockets
+/// against `addr`, returning once every child reported its sockets up.
+fn spawn_idle_clients(addr: SocketAddr, total: usize) -> std::io::Result<Vec<Child>> {
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::new();
+    let mut remaining = total;
+    while remaining > 0 {
+        let chunk = remaining.min(IDLE_CHILD_CHUNK);
+        remaining -= chunk;
+        children.push(
+            Command::new(&exe)
+                .arg("--idle-client")
+                .arg(addr.to_string())
+                .arg(chunk.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()?,
+        );
+    }
+    // Each child prints one "ready <n>" line once all its sockets are
+    // connected; a short/err read means it died (e.g. fd exhaustion).
+    for child in &mut children {
+        let Some(out) = child.stdout.take() else {
+            return Err(std::io::Error::other("idle-client child has no stdout"));
+        };
+        let mut line = String::new();
+        BufReader::new(out).read_line(&mut line)?;
+        if !line.starts_with("ready") {
+            return Err(std::io::Error::other(format!(
+                "idle-client child failed: {line:?}"
+            )));
+        }
+    }
+    Ok(children)
+}
+
+/// Child-process mode: hold `count` idle connections open until the
+/// parent closes our stdin, then exit. Never prints to stdout except the
+/// single readiness line the parent waits for.
+fn idle_client_main(addr: &str, count: usize) -> ExitCode {
+    let mut conns = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut attempts = 0u32;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    conns.push(s);
+                    break;
+                }
+                // Transient listen-backlog overflow under a connect
+                // storm: yield and redial, bounded.
+                Err(e) => {
+                    attempts += 1;
+                    if attempts > 1_000_000 {
+                        eprintln!("idle-client: connect {addr} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    println!("ready {}", conns.len());
+    let _ = std::io::stdout().flush();
+    let mut buf = [0u8; 64];
+    while matches!(std::io::stdin().read(&mut buf), Ok(n) if n > 0) {}
+    ExitCode::SUCCESS
+}
+
+fn run_connections(quick: bool) -> std::io::Result<Vec<ConnectionsCell>> {
+    let budget = fd_soft_limit();
+    let mut cells = Vec::new();
+    println!("\n[store connections] pipelined probe with idle connections parked");
+    println!(
+        "{:<12} {:>10} {:>16} {:>8}",
+        "cell", "live", "items/s", "threads"
+    );
+    for &target in IDLE_CONNS {
+        // The server side of every idle socket is an fd in this process.
+        let idle = match budget {
+            Some(limit) if target + FD_MARGIN > limit => {
+                let idle = limit.saturating_sub(FD_MARGIN);
+                println!(
+                    "[store connections] fd soft limit {limit}: shrinking idle cell \
+                     {target} -> {idle} (cell key keeps the actual count)"
+                );
+                idle
+            }
+            _ => target,
+        };
+        let server = probe_server()?;
+        let children = if idle > 0 {
+            spawn_idle_clients(server.addr(), idle)?
+        } else {
+            Vec::new()
+        };
+        // The children's sockets are connected, but registration runs
+        // through the accept thread; wait for the poller to own them.
+        let mut spins = 0u64;
+        while server.live_connections() < idle {
+            spins += 1;
+            if spins > 200_000_000 {
+                return Err(std::io::Error::other(format!(
+                    "server registered only {}/{idle} idle connections",
+                    server.live_connections()
+                )));
+            }
+            std::thread::yield_now();
+        }
+        let items_per_sec = tcp_probe(server.addr(), quick)?;
+        let cell = ConnectionsCell {
+            idle,
+            items_per_sec,
+            live_conns: server.live_connections(),
+            threads: server.thread_count(),
+        };
+        println!(
+            "{:<12} {:>10} {:>16.0} {:>8}",
+            cell.key(),
+            cell.live_conns,
+            cell.items_per_sec,
+            cell.threads
+        );
+        cells.push(cell);
+        // Closing stdin releases each child; reap them before the next
+        // cell so their sockets (and fds) are really gone.
+        for mut child in children {
+            drop(child.stdin.take());
+            let _ = child.wait();
+        }
+    }
+    Ok(cells)
+}
 
 /// Reader-thread counts swept by the contended section.
 const CONTENDED_THREADS: &[usize] = &[1, 2, 4, 8];
@@ -453,7 +654,12 @@ fn cores() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-fn render_json(cells: &[Cell], contended: &[ContendedCell], tcp: Option<(usize, f64)>) -> String {
+fn render_json(
+    cells: &[Cell],
+    contended: &[ContendedCell],
+    connections: &[ConnectionsCell],
+    tcp: Option<(usize, f64)>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"store\",\n  \"unit\": \"ns_per_request\",\n");
     out.push_str(&format!("  \"cores\": {},\n", cores()));
@@ -500,6 +706,26 @@ fn render_json(cells: &[Cell], contended: &[ContendedCell], tcp: Option<(usize, 
             c.mutex_items_per_sec,
             c.replicated_items_per_sec,
             c.ratio()
+        ));
+    }
+    out.push_str("  ],\n  \"connections\": [\n");
+    let idle0 = connections
+        .iter()
+        .find(|c| c.idle == 0)
+        .map(|c| c.items_per_sec);
+    for (i, c) in connections.iter().enumerate() {
+        let sep = if i + 1 == connections.len() { "" } else { "," };
+        let ratio = idle0.map_or(1.0, |base| c.items_per_sec / base);
+        out.push_str(&format!(
+            "    {{ \"cell\": \"{}\", \"idle\": {}, \"live_conns\": {}, \
+             \"server_threads\": {}, \"items_per_sec\": {:.0}, \
+             \"ratio_vs_idle0\": {:.2} }}{sep}\n",
+            c.key(),
+            c.idle,
+            c.live_conns,
+            c.threads,
+            c.items_per_sec,
+            ratio
         ));
     }
     out.push_str("  ]\n}\n");
@@ -565,6 +791,16 @@ fn parse_contended_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The committed `tcp_pipelined` items/sec of a previously emitted JSON
+/// file, if present (same line-oriented contract as [`parse_baseline`]).
+fn parse_tcp_baseline(text: &str) -> Option<f64> {
+    let line = text.lines().find(|l| l.contains("\"tcp_pipelined\""))?;
+    let at = line.find("\"items_per_sec\": ")?;
+    let num = &line[at + 17..];
+    let end = num.find([',', ' ', '}']).unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
 /// The `"cores"` field of a previously emitted JSON file, if present.
 fn parse_baseline_cores(text: &str) -> Option<usize> {
     for line in text.lines() {
@@ -617,7 +853,15 @@ fn run_grid(quick: bool, enforce: bool) -> bool {
 
     let contended = run_contended(quick);
 
-    let json = render_json(&cells, &contended, tcp);
+    let connections = match run_connections(quick) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("[store connections] sweep failed (cells omitted): {e}");
+            Vec::new()
+        }
+    };
+
+    let json = render_json(&cells, &contended, &connections, tcp);
     match std::fs::write(JSON_PATH, &json) {
         Ok(()) => println!("[store grid] wrote {JSON_PATH}"),
         Err(e) => eprintln!("[store grid] could not write {JSON_PATH}: {e}"),
@@ -731,11 +975,84 @@ fn run_grid(quick: bool, enforce: bool) -> bool {
         }
     }
 
+    // Connections gates. The idle-ratio floor is a same-run ratio
+    // (portable); the missing-sweep and thread-bound checks are
+    // structural; the absolute-throughput comparison is cores-matching
+    // only, like the contended gate.
+    if enforce && connections.is_empty() {
+        eprintln!("[store connections] FAIL: sweep produced no cells under --enforce");
+        failed = true;
+    }
+    if let Some(base) = connections
+        .iter()
+        .find(|c| c.idle == 0)
+        .map(|c| c.items_per_sec)
+    {
+        for cell in &connections {
+            let ratio = cell.items_per_sec / base;
+            if cell.idle > 0 {
+                println!(
+                    "[store connections] {}: {:.2}x of idle0 throughput (floor {MIN_IDLE_RATIO}x)",
+                    cell.key(),
+                    ratio
+                );
+            }
+            if enforce && cell.idle > 0 && ratio < MIN_IDLE_RATIO {
+                eprintln!(
+                    "[store connections] FAIL: {} throughput ratio {ratio:.2}x below the \
+                     {MIN_IDLE_RATIO}x floor",
+                    cell.key()
+                );
+                failed = true;
+            }
+            // Bounded threads is the whole point of the readiness loop:
+            // parked connections must not grow the server's thread count.
+            if enforce && cell.threads != connections[0].threads {
+                eprintln!(
+                    "[store connections] FAIL: {} used {} server threads (idle0 used {}) — \
+                     connection count must not change the thread budget",
+                    cell.key(),
+                    cell.threads,
+                    connections[0].threads
+                );
+                failed = true;
+            }
+        }
+    }
+    if let (Some(text), Some((_, tcp_now))) = (baseline_text.as_deref(), tcp) {
+        if parse_baseline_cores(text) == Some(ncores) {
+            if let Some(tcp_base) = parse_tcp_baseline(text) {
+                println!(
+                    "[store connections] tcp_pipelined {tcp_now:.0} vs committed {tcp_base:.0} items/s"
+                );
+                if enforce && tcp_now * MAX_TCP_REGRESSION < tcp_base {
+                    eprintln!(
+                        "[store connections] FAIL: tcp_pipelined {tcp_now:.0} items/s fell more \
+                         than {:.0}% below the committed {tcp_base:.0}",
+                        (MAX_TCP_REGRESSION - 1.0) * 100.0
+                    );
+                    failed = true;
+                }
+            }
+        } else {
+            println!("[store connections] baseline cores differ; skipping tcp_pipelined gate");
+        }
+    }
+
     !failed
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    // Helper-process mode must run before Criterion touches argv: the
+    // child exists only to park idle sockets for the connections sweep.
+    if let Some(i) = args.iter().position(|a| a == "--idle-client") {
+        let (Some(addr), Some(count)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: --idle-client <addr> <count>");
+            return ExitCode::FAILURE;
+        };
+        return idle_client_main(addr, count.parse().unwrap_or(0));
+    }
     benches();
     if args.iter().any(|a| a == "--test") {
         // `cargo test` smoke pass: Criterion already ran each body once;

@@ -21,6 +21,11 @@ pub struct RnbClientConfig {
     pub writeback: bool,
     /// How `set` propagates to replicas (§III-G / §IV).
     pub write_policy: WritePolicy,
+    /// Pipeline the bundled read rounds: issue every transaction of a
+    /// round before reading any reply, so round latency is one RTT
+    /// instead of the sum of per-server RTTs. Off = the sequential
+    /// send-then-recv-per-server path (kept for differential testing).
+    pub pipeline: bool,
 }
 
 impl RnbClientConfig {
@@ -33,6 +38,7 @@ impl RnbClientConfig {
             hitchhiking: true,
             writeback: true,
             write_policy: WritePolicy::WriteAll,
+            pipeline: true,
         }
     }
 
@@ -53,11 +59,84 @@ impl RnbClientConfig {
         self.writeback = on;
         self
     }
+
+    /// Builder-style pipelining toggle.
+    pub fn with_pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
 }
+
+/// One server endpoint with lazy reconnection. After an I/O error the
+/// stream may be desynced (a reply of the failed request can still be
+/// in flight) or dead — either way it must never be reused, so error
+/// paths mark it broken and the next use dials a fresh connection.
+struct ServerConn {
+    addr: SocketAddr,
+    conn: Option<StoreClient>,
+}
+
+impl ServerConn {
+    fn connect(addr: SocketAddr) -> io::Result<ServerConn> {
+        Ok(ServerConn {
+            addr,
+            conn: Some(StoreClient::connect(addr)?),
+        })
+    }
+
+    /// The connection for the next operation, reconnecting lazily if a
+    /// previous error marked it broken. The bool reports whether a
+    /// reconnect happened (for [`ClientStats::reconnects`]).
+    fn ready(&mut self) -> io::Result<(&mut StoreClient, bool)> {
+        let reconnected = self.conn.is_none();
+        if self.conn.is_none() {
+            self.conn = Some(StoreClient::connect(self.addr)?);
+        }
+        match self.conn.as_mut() {
+            Some(conn) => Ok((conn, reconnected)),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection unavailable",
+            )),
+        }
+    }
+
+    /// The live connection, if any — used by pipelined receive phases,
+    /// which must read from the exact connection that sent (a reconnect
+    /// there would wait for a reply that was never requested).
+    fn active(&mut self) -> Option<&mut StoreClient> {
+        self.conn.as_mut()
+    }
+
+    /// Never reuse this connection again; the next use reconnects.
+    fn mark_broken(&mut self) {
+        self.conn = None;
+    }
+}
+
+/// Borrow-splitting helper: fetch (lazily reconnecting) the connection
+/// for `server` while `stats` counts the reconnect. A free function so
+/// `multi_get` can call it while holding borrows of the planner fields.
+fn conn_for<'a>(
+    conns: &'a mut [ServerConn],
+    stats: &mut ClientStats,
+    server: usize,
+) -> io::Result<&'a mut StoreClient> {
+    let (conn, reconnected) = conns[server].ready()?;
+    if reconnected {
+        stats.reconnects += 1;
+    }
+    Ok(conn)
+}
+
+/// One read-round transaction materialized for the wire: target server,
+/// planned-item prefix length, items (planned first, hitchhikers
+/// after), and their encoded keys.
+type WireTxn = (ServerId, usize, Vec<ItemId>, Vec<Vec<u8>>);
 
 /// A connected RnB deployment client.
 pub struct RnbClient {
-    conns: Vec<StoreClient>,
+    conns: Vec<ServerConn>,
     bundler: Bundler<PlacementStrategy>,
     writer: WritePlanner<PlacementStrategy>,
     config: RnbClientConfig,
@@ -77,7 +156,7 @@ impl RnbClient {
         config.rnb.servers = addrs.len();
         let conns = addrs
             .iter()
-            .map(|&a| StoreClient::connect(a))
+            .map(|&a| ServerConn::connect(a))
             .collect::<io::Result<_>>()?;
         let bundler = Bundler::from_config(&config.rnb);
         let writer = WritePlanner::new(
@@ -144,41 +223,87 @@ impl RnbClient {
         // fatal: its planned items fall through to the fallback rounds —
         // RnB's replication doubles as availability (the paper's remark
         // that memcached-tier "data loss … is usually tolerable" becomes
-        // "server loss is tolerable" once every item has k homes).
+        // "server loss is tolerable" once every item has k homes). The
+        // failing connection is marked broken: the stream may be
+        // desynced, so later rounds must not reuse it.
         let mut found: HashMap<ItemId, Vec<u8>> = HashMap::new();
         let mut missed: Vec<(ItemId, ServerId)> = Vec::new();
-        for (ti, txn) in plan.transactions.iter().enumerate() {
-            let all_items: Vec<ItemId> =
-                txn.items.iter().chain(extras[ti].iter()).copied().collect();
-            let keys: Vec<Vec<u8>> = all_items.iter().map(|&i| item_key(i)).collect();
+        // Planned items first, hitchhikers after, so `planned` is a
+        // prefix length.
+        let round1: Vec<WireTxn> = plan
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(ti, txn)| {
+                let all_items: Vec<ItemId> =
+                    txn.items.iter().chain(extras[ti].iter()).copied().collect();
+                let keys: Vec<Vec<u8>> = all_items.iter().map(|&i| item_key(i)).collect();
+                (txn.server, txn.items.len(), all_items, keys)
+            })
+            .collect();
+        let mut sent = vec![false; round1.len()];
+        if self.config.pipeline {
+            // Send every round-1 transaction before reading any reply:
+            // round latency is one RTT, not the sum of per-server RTTs.
+            for (ti, (server, planned, all_items, keys)) in round1.iter().enumerate() {
+                let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                self.stats.round1_txns += 1;
+                let s = *server as usize;
+                match conn_for(&mut self.conns, &mut self.stats, s)
+                    .and_then(|c| c.send_get_multi(&refs))
+                {
+                    Ok(()) => sent[ti] = true,
+                    Err(_) => {
+                        self.conns[s].mark_broken();
+                        self.stats.failed_txns += 1;
+                        missed.extend(all_items[..*planned].iter().map(|&i| (i, *server)));
+                    }
+                }
+            }
+        }
+        for (ti, (server, planned, all_items, keys)) in round1.iter().enumerate() {
             let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-            self.stats.round1_txns += 1;
-            match self.conns[txn.server as usize].get_multi(&refs) {
+            let s = *server as usize;
+            let values = if self.config.pipeline {
+                if !sent[ti] {
+                    continue; // already recorded as failed at send time
+                }
+                match self.conns[s].active() {
+                    Some(c) => c.recv_get_multi(&refs),
+                    // A later send on the same server broke the conn;
+                    // treat this pending reply as lost.
+                    None => Err(io::Error::new(io::ErrorKind::NotConnected, "conn broken")),
+                }
+            } else {
+                self.stats.round1_txns += 1;
+                conn_for(&mut self.conns, &mut self.stats, s).and_then(|c| c.get_multi(&refs))
+            };
+            match values {
                 Ok(values) => {
-                    for (&item, value) in all_items.iter().zip(values) {
+                    for (idx, (&item, value)) in all_items.iter().zip(values).enumerate() {
                         match value {
                             Some((data, _flags)) => {
                                 found.entry(item).or_insert(data);
                             }
                             None => {
-                                if txn.items.contains(&item) {
-                                    missed.push((item, txn.server));
+                                if idx < *planned {
+                                    missed.push((item, *server));
                                 }
                             }
                         }
                     }
                 }
                 Err(_) => {
+                    self.conns[s].mark_broken();
                     self.stats.failed_txns += 1;
-                    for &item in &txn.items {
-                        missed.push((item, txn.server));
-                    }
+                    missed.extend(all_items[..*planned].iter().map(|&i| (i, *server)));
                 }
             }
         }
 
         // Misses not rescued by hitchhikers → bundled distinguished
-        // fallback (§III-D).
+        // fallback (§III-D), also pipelined (the distinguished servers
+        // are distinct by construction).
         let mut second: HashMap<ServerId, Vec<ItemId>> = HashMap::new();
         for &(item, _) in &missed {
             if !found.contains_key(&item) {
@@ -193,12 +318,45 @@ impl RnbClient {
             missed.iter().filter(|(i, _)| found.contains_key(i)).count() as u64;
         let mut second: Vec<(ServerId, Vec<ItemId>)> = second.into_iter().collect();
         second.sort_unstable_by_key(|(s, _)| *s);
+        let second_keys: Vec<Vec<Vec<u8>>> = second
+            .iter()
+            .map(|(_, items)| items.iter().map(|&i| item_key(i)).collect())
+            .collect();
         let mut third: Vec<ItemId> = Vec::new();
-        for (server, items) in &second {
-            let keys: Vec<Vec<u8>> = items.iter().map(|&i| item_key(i)).collect();
-            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-            self.stats.round2_txns += 1;
-            match self.conns[*server as usize].get_multi(&refs) {
+        let mut second_sent = vec![false; second.len()];
+        if self.config.pipeline {
+            for (si, (server, items)) in second.iter().enumerate() {
+                let refs: Vec<&[u8]> = second_keys[si].iter().map(|k| k.as_slice()).collect();
+                self.stats.round2_txns += 1;
+                let s = *server as usize;
+                match conn_for(&mut self.conns, &mut self.stats, s)
+                    .and_then(|c| c.send_get_multi(&refs))
+                {
+                    Ok(()) => second_sent[si] = true,
+                    Err(_) => {
+                        self.conns[s].mark_broken();
+                        self.stats.failed_txns += 1;
+                        third.extend_from_slice(items);
+                    }
+                }
+            }
+        }
+        for (si, (server, items)) in second.iter().enumerate() {
+            let refs: Vec<&[u8]> = second_keys[si].iter().map(|k| k.as_slice()).collect();
+            let s = *server as usize;
+            let values = if self.config.pipeline {
+                if !second_sent[si] {
+                    continue;
+                }
+                match self.conns[s].active() {
+                    Some(c) => c.recv_get_multi(&refs),
+                    None => Err(io::Error::new(io::ErrorKind::NotConnected, "conn broken")),
+                }
+            } else {
+                self.stats.round2_txns += 1;
+                conn_for(&mut self.conns, &mut self.stats, s).and_then(|c| c.get_multi(&refs))
+            };
+            match values {
                 Ok(values) => {
                     for (&item, value) in items.iter().zip(values) {
                         if let Some((data, _)) = value {
@@ -211,6 +369,7 @@ impl RnbClient {
                 Err(_) => {
                     // Even the distinguished server is down: survivor
                     // round over the remaining replicas.
+                    self.conns[s].mark_broken();
                     self.stats.failed_txns += 1;
                     third.extend_from_slice(items);
                 }
@@ -218,17 +377,24 @@ impl RnbClient {
         }
 
         // Round 3 (failure path only): per-item sweep over surviving
-        // replicas.
+        // replicas. Lazy reconnection matters here — a restarted server
+        // is dialed fresh instead of erroring forever on a dead stream.
         for item in third {
             let key = item_key(item);
             let mut got = None;
             for server in placement.replicas(item) {
-                self.stats.round2_txns += 1;
-                if let Ok(values) = self.conns[server as usize].get_multi(&[&key]) {
-                    if let Some((data, _)) = values.into_iter().next().flatten() {
-                        got = Some(data);
-                        break;
+                self.stats.round3_txns += 1;
+                let s = server as usize;
+                match conn_for(&mut self.conns, &mut self.stats, s)
+                    .and_then(|c| c.get_multi(&[&key]))
+                {
+                    Ok(values) => {
+                        if let Some((data, _)) = values.into_iter().next().flatten() {
+                            got = Some(data);
+                            break;
+                        }
                     }
+                    Err(_) => self.conns[s].mark_broken(),
                 }
             }
             match got {
@@ -239,16 +405,19 @@ impl RnbClient {
             }
         }
 
-        // Write-back recovered misses to their planned replica server
-        // (ignore write errors — the server may be the dead one).
+        // Write-back recovered misses to their planned replica server.
+        // A write error is tolerated (the server may be the dead one)
+        // but still marks the connection broken — reusing it would
+        // desync the next round's replies.
         if self.config.writeback {
             for (item, server) in missed {
+                let s = server as usize;
                 if let Some(data) = found.get(&item) {
-                    if self.conns[server as usize]
-                        .set(&item_key(item), data, 0)
-                        .is_ok()
+                    match conn_for(&mut self.conns, &mut self.stats, s)
+                        .and_then(|c| c.set(&item_key(item), data, 0))
                     {
-                        self.stats.writebacks += 1;
+                        Ok(()) => self.stats.writebacks += 1,
+                        Err(_) => self.conns[s].mark_broken(),
                     }
                 }
             }
@@ -256,6 +425,21 @@ impl RnbClient {
 
         self.stats.requests += 1;
         Ok(items.iter().map(|i| found.get(i).cloned()).collect())
+    }
+
+    /// Run `op` on the connection for `server` (reconnecting lazily
+    /// first), marking the connection broken if the operation fails so
+    /// the next use reconnects instead of reusing a desynced stream.
+    fn with_conn<T>(
+        &mut self,
+        server: usize,
+        op: impl FnOnce(&mut StoreClient) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let out = conn_for(&mut self.conns, &mut self.stats, server).and_then(op);
+        if out.is_err() {
+            self.conns[server].mark_broken();
+        }
+        out
     }
 
     /// Store `item` on all of its replica servers per the write policy.
@@ -266,11 +450,11 @@ impl RnbClient {
         let plan = self.writer.plan_write(item);
         let key = item_key(item);
         for txn in &plan.invalidations {
-            self.conns[txn.server as usize].delete(&key)?;
+            self.with_conn(txn.server as usize, |c| c.delete(&key))?;
             self.stats.write_txns += 1;
         }
         for txn in &plan.writes {
-            self.conns[txn.server as usize].set(&key, value, 0)?;
+            self.with_conn(txn.server as usize, |c| c.set(&key, value, 0))?;
             self.stats.write_txns += 1;
         }
         self.stats.writes += 1;
@@ -282,7 +466,7 @@ impl RnbClient {
         let key = item_key(item);
         let mut any = false;
         for server in self.bundler.placement().replicas(item) {
-            any |= self.conns[server as usize].delete(&key)?;
+            any |= self.with_conn(server as usize, |c| c.delete(&key))?;
         }
         Ok(any)
     }
@@ -298,12 +482,12 @@ impl RnbClient {
         let key = item_key(item);
         let replicas = self.bundler.placement().replicas(item);
         for &server in &replicas[1..] {
-            self.conns[server as usize].delete(&key)?;
+            self.with_conn(server as usize, |c| c.delete(&key))?;
             self.stats.write_txns += 1;
         }
         let d = replicas[0] as usize;
         loop {
-            let got = self.conns[d].gets_multi(&[&key])?;
+            let got = self.with_conn(d, |c| c.gets_multi(&[&key]))?;
             let Some((data, flags, token)) = got.into_iter().next().flatten() else {
                 return Err(io::Error::new(
                     io::ErrorKind::NotFound,
@@ -312,7 +496,7 @@ impl RnbClient {
             };
             let next = f(&data);
             self.stats.write_txns += 1;
-            if self.conns[d].cas(&key, &next, flags, token)? {
+            if self.with_conn(d, |c| c.cas(&key, &next, flags, token))? {
                 self.stats.writes += 1;
                 return Ok(next);
             }

@@ -10,6 +10,10 @@ pub struct ClientStats {
     pub round1_txns: u64,
     /// Round-2 (distinguished fallback) transactions issued.
     pub round2_txns: u64,
+    /// Round-3 (survivor sweep, failure path only) transactions issued.
+    /// Counted separately from round 2 so failure-path traffic is not
+    /// misattributed to the ordinary miss fallback.
+    pub round3_txns: u64,
     /// Planned item fetches that missed in round 1.
     pub planned_misses: u64,
     /// Misses satisfied by a hitchhiker in the same round.
@@ -27,15 +31,19 @@ pub struct ClientStats {
     /// Transactions that failed with an I/O error (server down); their
     /// items were recovered from other replicas where possible.
     pub failed_txns: u64,
+    /// Connections re-established after an I/O error marked them broken
+    /// (a desynced or dead stream is never reused; the next use of that
+    /// server reconnects lazily).
+    pub reconnects: u64,
 }
 
 impl ClientStats {
-    /// Mean transactions per request (both rounds).
+    /// Mean transactions per request (all read rounds).
     pub fn tpr(&self) -> f64 {
         if self.requests == 0 {
             0.0
         } else {
-            (self.round1_txns + self.round2_txns) as f64 / self.requests as f64
+            (self.round1_txns + self.round2_txns + self.round3_txns) as f64 / self.requests as f64
         }
     }
 }
@@ -54,5 +62,20 @@ mod tests {
         };
         assert!((s.tpr() - 3.0).abs() < 1e-12);
         assert_eq!(ClientStats::default().tpr(), 0.0);
+    }
+
+    #[test]
+    fn tpr_counts_survivor_round() {
+        // Regression: round-3 traffic used to be folded into
+        // `round2_txns`; it must both have its own counter and still
+        // participate in transactions-per-request.
+        let s = ClientStats {
+            requests: 2,
+            round1_txns: 4,
+            round2_txns: 1,
+            round3_txns: 3,
+            ..Default::default()
+        };
+        assert!((s.tpr() - 4.0).abs() < 1e-12);
     }
 }

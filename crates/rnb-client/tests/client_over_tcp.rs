@@ -296,6 +296,137 @@ fn losing_all_replicas_reports_unavailable_not_error() {
 }
 
 #[test]
+fn killed_and_restarted_server_is_reconnected_lazily() {
+    // Regression for the broken-connection bug: an I/O error used to
+    // leave the dead/desynced StoreClient in place, so every later round
+    // that planned a transaction on that server failed forever — even
+    // after the server came back. Now the error marks the connection
+    // broken and the next use redials.
+    let mut fleet = Fleet::start(5, 1 << 22);
+    let addrs = fleet.addrs();
+    let mut client = RnbClient::connect(&addrs, RnbClientConfig::new(3)).unwrap();
+    for item in 0..200u64 {
+        client.set(item, format!("v{item}").as_bytes()).unwrap();
+    }
+
+    // Kill server 2 under the client's live connections: the next
+    // multi_get discovers the breakage mid-request via I/O errors.
+    let port = addrs[2].port();
+    fleet.servers[2].shutdown();
+
+    let request: Vec<u64> = (0..200).collect();
+    for _ in 0..3 {
+        let values = client
+            .multi_get(&request)
+            .expect("reads survive the outage");
+        for (item, value) in request.iter().zip(&values) {
+            assert_eq!(
+                value.as_deref(),
+                Some(format!("v{item}").as_bytes()),
+                "item {item} lost while one server was down"
+            );
+        }
+    }
+    let mid = client.stats();
+    assert!(mid.failed_txns > 0, "dead server must surface failed txns");
+    assert!(
+        mid.round3_txns > 0,
+        "items whose distinguished copy lived on the dead server must \
+         fall through to the survivor sweep: {mid:?}"
+    );
+
+    // Restart on the same port with a fresh (empty) store and
+    // repopulate. The client must redial — not keep erroring on the
+    // connections it marked broken during the outage.
+    let mut revived = None;
+    for _ in 0..10_000 {
+        match StoreServer::start_on(Arc::new(Store::new(1 << 22)), port) {
+            Ok(s) => {
+                revived = Some(s);
+                break;
+            }
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+    let _revived = revived.expect("rebind on the freed port");
+    for item in 0..200u64 {
+        client.set(item, format!("v{item}").as_bytes()).unwrap();
+    }
+    let values = client.multi_get(&request).expect("reads after restart");
+    for (item, value) in request.iter().zip(&values) {
+        assert_eq!(
+            value.as_deref(),
+            Some(format!("v{item}").as_bytes()),
+            "item {item} wrong after server restart"
+        );
+    }
+    let end = client.stats();
+    assert!(
+        end.reconnects > 0,
+        "the revived server must have been redialed: {end:?}"
+    );
+    assert_eq!(end.unavailable_items, 0, "nothing may be lost end-to-end");
+}
+
+mod pipelined_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Env {
+        _fleet: Fleet,
+        pipelined: RnbClient,
+        sequential: RnbClient,
+    }
+
+    // One fleet shared across proptest cases (starting servers per case
+    // would dominate the run); the Mutex serializes cases.
+    fn env() -> &'static Mutex<Env> {
+        static ENV: OnceLock<Mutex<Env>> = OnceLock::new();
+        ENV.get_or_init(|| {
+            let fleet = Fleet::start(6, 1 << 22);
+            let addrs = fleet.addrs();
+            let mut pipelined = RnbClient::connect(&addrs, RnbClientConfig::new(3)).unwrap();
+            let sequential =
+                RnbClient::connect(&addrs, RnbClientConfig::new(3).with_pipeline(false)).unwrap();
+            for item in 0..400u64 {
+                pipelined.set(item, format!("eq{item}").as_bytes()).unwrap();
+            }
+            Mutex::new(Env {
+                _fleet: fleet,
+                pipelined,
+                sequential,
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Pipelining is a latency optimization, not a semantic change:
+        /// for any request mix (dupes, absent items, empty) the
+        /// pipelined client returns exactly what the sequential one
+        /// does, and both match ground truth.
+        #[test]
+        fn pipelined_multi_get_equals_sequential(
+            request in proptest::collection::vec(0u64..600, 0..40),
+        ) {
+            let mut guard = env().lock().unwrap();
+            let env = &mut *guard;
+            let piped = env.pipelined.multi_get(&request).unwrap();
+            let seq = env.sequential.multi_get(&request).unwrap();
+            prop_assert_eq!(&piped, &seq);
+            for (item, value) in request.iter().zip(&piped) {
+                if *item < 400 {
+                    prop_assert_eq!(value.as_deref(), Some(format!("eq{item}").as_bytes()));
+                } else {
+                    prop_assert!(value.is_none());
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn delete_removes_all_replicas() {
     let fleet = Fleet::start(5, 1 << 20);
     let mut client = RnbClient::connect(&fleet.addrs(), RnbClientConfig::new(3)).unwrap();

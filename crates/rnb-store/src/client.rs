@@ -46,7 +46,9 @@ impl StoreClient {
     }
 
     /// Multi-get. Returns, per requested key, `Some((data, flags))` on a
-    /// hit and `None` on a miss.
+    /// hit and `None` on a miss. An empty key slice is answered locally
+    /// with `Ok(vec![])` — no wire round-trip (and no panic: this is
+    /// caller input, not a library invariant).
     #[allow(clippy::type_complexity)]
     pub fn get_multi(&mut self, keys: &[&[u8]]) -> io::Result<Vec<Option<(Vec<u8>, u32)>>> {
         let full = self.gets_inner(keys, false)?;
@@ -63,13 +65,39 @@ impl StoreClient {
         self.gets_inner(keys, true)
     }
 
+    /// Pipelining half 1: send a multi-get request without reading the
+    /// reply. Pair each call with [`StoreClient::recv_get_multi`] (same
+    /// keys, same order) on this connection; interleaving other
+    /// operations between the two desyncs the stream.
+    pub fn send_get_multi(&mut self, keys: &[&[u8]]) -> io::Result<()> {
+        self.send_gets(keys, false)
+    }
+
+    /// Pipelining half 2: read the reply to an earlier
+    /// [`StoreClient::send_get_multi`] with the same keys.
+    #[allow(clippy::type_complexity)]
+    pub fn recv_get_multi(&mut self, keys: &[&[u8]]) -> io::Result<Vec<Option<(Vec<u8>, u32)>>> {
+        let full = self.recv_gets(keys, false)?;
+        Ok(full
+            .into_iter()
+            .map(|o| o.map(|(d, f, _)| (d, f)))
+            .collect())
+    }
+
     #[allow(clippy::type_complexity)]
     fn gets_inner(
         &mut self,
         keys: &[&[u8]],
         with_cas: bool,
     ) -> io::Result<Vec<Option<(Vec<u8>, u32, u64)>>> {
-        assert!(!keys.is_empty(), "get_multi needs at least one key");
+        self.send_gets(keys, with_cas)?;
+        self.recv_gets(keys, with_cas)
+    }
+
+    fn send_gets(&mut self, keys: &[&[u8]], with_cas: bool) -> io::Result<()> {
+        if keys.is_empty() {
+            return Ok(());
+        }
         self.writer
             .write_all(if with_cas { b"gets" } else { b"get" })?;
         for key in keys {
@@ -77,8 +105,19 @@ impl StoreClient {
             self.writer.write_all(key)?;
         }
         self.writer.write_all(b"\r\n")?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
 
+    #[allow(clippy::type_complexity)]
+    fn recv_gets(
+        &mut self,
+        keys: &[&[u8]],
+        with_cas: bool,
+    ) -> io::Result<Vec<Option<(Vec<u8>, u32, u64)>>> {
+        if keys.is_empty() {
+            // Nothing was sent for an empty request, so read nothing.
+            return Ok(Vec::new());
+        }
         // Fill response slots positionally: each VALUE reply is matched
         // against the requested keys directly, so the hot path neither
         // copies key bytes nor re-hashes them into a map.
@@ -115,6 +154,17 @@ impl StoreClient {
             let data = crate::protocol::read_data_block(&mut self.reader, len)?;
             let key_bytes = key.as_bytes();
             let matches = keys.iter().filter(|k| **k == key_bytes).count();
+            if matches == 0 {
+                // A VALUE for a key we never asked for is a desync
+                // symptom (e.g. a reply of an earlier, failed request
+                // still in the pipe). Surfacing it — instead of silently
+                // dropping the body — is what lets callers notice a
+                // broken connection and reconnect.
+                return Err(proto_err(format!(
+                    "VALUE for unrequested key {:?}",
+                    String::from_utf8_lossy(key_bytes)
+                )));
+            }
             let mut left = matches;
             let mut pending = Some((data, flags, cas));
             for (k, slot) in keys.iter().zip(out.iter_mut()) {
@@ -263,10 +313,56 @@ impl StoreClient {
 mod tests {
     use super::*;
 
+    use std::io::Read;
+    use std::net::TcpListener;
+
     #[test]
     fn connect_to_closed_port_fails() {
         // Port 1 on loopback is essentially never listening.
         let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
         assert!(StoreClient::connect(addr).is_err());
+    }
+
+    /// A scripted one-connection "server": accepts, optionally reads one
+    /// line, writes `reply` verbatim, holds the socket open until the
+    /// client is done.
+    fn fake_server(reply: &'static [u8]) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = conn.read(&mut buf);
+            conn.write_all(reply).unwrap();
+            // Hold until the client disconnects.
+            let _ = conn.read(&mut buf);
+        });
+        addr
+    }
+
+    #[test]
+    fn empty_key_slice_is_answered_locally() {
+        // Regression: this used to `assert!` — a library panic reachable
+        // from caller input. The fake server never responds, so any wire
+        // round-trip would hang or error; `Ok(vec![])` proves no bytes
+        // moved.
+        let addr = fake_server(b"");
+        let mut client = StoreClient::connect(addr).unwrap();
+        assert_eq!(client.get_multi(&[]).unwrap(), vec![]);
+        assert_eq!(client.gets_multi(&[]).unwrap(), vec![]);
+        // The connection is still usable for the pipelined halves too.
+        client.send_get_multi(&[]).unwrap();
+        assert_eq!(client.recv_get_multi(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unrequested_value_key_is_a_protocol_error() {
+        // Regression: a VALUE for a key we never requested (the telltale
+        // of a desynced stream) used to be silently dropped.
+        let addr = fake_server(b"VALUE ghost 0 2\r\nxy\r\nEND\r\n");
+        let mut client = StoreClient::connect(addr).unwrap();
+        let err = client.get_multi(&[b"real"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("ghost"), "{err}");
     }
 }

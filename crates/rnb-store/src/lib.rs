@@ -39,6 +39,7 @@
 pub mod client;
 pub mod clock;
 pub mod loadgen;
+pub mod poller;
 pub mod protocol;
 pub mod replicated;
 pub mod server;

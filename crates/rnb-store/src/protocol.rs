@@ -372,6 +372,119 @@ pub fn read_data_block<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec
     Ok(data)
 }
 
+/// Upper bound on a `set`/`cas` data block the incremental parser will
+/// buffer (memcached's default item limit is 1 MiB; 16 MiB leaves
+/// headroom for experiments while still bounding a malicious `bytes`
+/// field).
+pub const MAX_DATA_BLOCK: usize = 16 << 20;
+
+/// One step of incremental request extraction from a byte buffer — the
+/// readiness path's replacement for [`read_line_into`] +
+/// [`read_data_block_into`]. Borrows from the buffer it was parsed out
+/// of; nothing is copied.
+#[derive(Debug)]
+pub enum NextRequest<'a> {
+    /// The buffer does not yet hold a complete request; read more bytes
+    /// and try again. Nothing was consumed.
+    Incomplete,
+    /// A complete request. `line` is the exact slice [`parse_command`]
+    /// saw (so [`GetKeys::ranges`] offsets index into it), `data` is the
+    /// `set`/`cas` payload without its CRLF (empty otherwise), and
+    /// `consumed` is the total bytes to drain — terminators and any
+    /// skipped blank lines included.
+    Request {
+        /// The request line, terminator stripped.
+        line: &'a [u8],
+        /// The parsed command, borrowing `line`.
+        cmd: Command<'a>,
+        /// `set`/`cas` payload (without trailing CRLF); empty otherwise.
+        data: &'a [u8],
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+    /// A complete line that failed to parse: answer
+    /// `CLIENT_ERROR <msg>` and drain `consumed` bytes — the connection
+    /// stays usable, matching the blocking path.
+    Error {
+        /// Parse error text for the `CLIENT_ERROR` reply.
+        msg: String,
+        /// Bytes of the buffer the bad line consumed.
+        consumed: usize,
+    },
+    /// Unrecoverable framing violation (data block not CRLF-terminated,
+    /// or a `bytes` field beyond [`MAX_DATA_BLOCK`]): the stream is
+    /// desynced and the connection must close, matching the blocking
+    /// path's fatal [`read_data_block_into`] error.
+    Desync,
+}
+
+/// Try to extract one complete request from the front of `buf`.
+///
+/// Blank lines ahead of the request are skipped silently (their bytes
+/// are folded into `consumed`), mirroring the blocking command loop.
+/// The caller drains `consumed` bytes after handling the result; on
+/// [`NextRequest::Incomplete`] nothing may be drained.
+pub fn next_request(buf: &[u8]) -> NextRequest<'_> {
+    let mut offset = 0usize;
+    loop {
+        let rest = &buf[offset..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            return NextRequest::Incomplete;
+        };
+        // Strip the terminator the way `read_line_into` does: the LF and
+        // any trailing CRs.
+        let mut line_end = nl;
+        while line_end > 0 && rest[line_end - 1] == b'\r' {
+            line_end -= 1;
+        }
+        let after_line = offset + nl + 1;
+        if line_end == 0 {
+            // Blank line: skip and keep scanning.
+            offset = after_line;
+            continue;
+        }
+        let line = &rest[..line_end];
+        let cmd = match parse_command(line) {
+            Ok(cmd) => cmd,
+            Err(msg) => {
+                return NextRequest::Error {
+                    msg,
+                    consumed: after_line,
+                }
+            }
+        };
+        let body = match cmd {
+            Command::Set { bytes, .. } | Command::Cas { bytes, .. } => bytes,
+            _ => 0,
+        };
+        if body == 0 {
+            return NextRequest::Request {
+                line,
+                cmd,
+                data: &[],
+                consumed: after_line,
+            };
+        }
+        if body > MAX_DATA_BLOCK {
+            return NextRequest::Desync;
+        }
+        // Data block: `body` payload bytes plus the CRLF terminator.
+        let end = after_line + body + 2;
+        if buf.len() < end {
+            return NextRequest::Incomplete;
+        }
+        if &buf[end - 2..end] != b"\r\n" {
+            return NextRequest::Desync;
+        }
+        return NextRequest::Request {
+            line,
+            cmd,
+            data: &buf[after_line..end - 2],
+            consumed: end,
+        };
+    }
+}
+
 /// Write one `VALUE` stanza of a get response. `cas` adds the token
 /// (the `gets` reply form).
 pub fn write_value<W: Write>(
@@ -729,5 +842,103 @@ mod tests {
         let mut with_cas = Vec::new();
         write_value(&mut with_cas, b"k1", 9, b"ab", Some(77)).unwrap();
         assert_eq!(&with_cas[..], b"VALUE k1 9 2 77\r\nab\r\n");
+    }
+
+    #[test]
+    fn next_request_simple_line() {
+        match next_request(b"version\r\nget a\r\n") {
+            NextRequest::Request {
+                cmd: Command::Version,
+                data,
+                consumed,
+                ..
+            } => {
+                assert!(data.is_empty());
+                assert_eq!(consumed, 9);
+            }
+            other => panic!("expected version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_request_incomplete_line_consumes_nothing() {
+        assert!(matches!(next_request(b""), NextRequest::Incomplete));
+        assert!(matches!(next_request(b"get a"), NextRequest::Incomplete));
+        assert!(matches!(
+            next_request(b"set k 0 0 2\r\nx"),
+            NextRequest::Incomplete
+        ));
+        // Payload present but terminator still in flight.
+        assert!(matches!(
+            next_request(b"set k 0 0 2\r\nxy\r"),
+            NextRequest::Incomplete
+        ));
+    }
+
+    #[test]
+    fn next_request_set_with_data_block() {
+        let buf = b"set k 3 0 2\r\nxy\r\nget k\r\n";
+        match next_request(buf) {
+            NextRequest::Request {
+                cmd: Command::Set { key, bytes, .. },
+                data,
+                consumed,
+                ..
+            } => {
+                assert_eq!(key, b"k");
+                assert_eq!(bytes, 2);
+                assert_eq!(data, b"xy");
+                assert_eq!(consumed, 17);
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_request_get_ranges_index_returned_line() {
+        match next_request(b"get aa b\r\n") {
+            NextRequest::Request {
+                line,
+                cmd: Command::Get { keys, .. },
+                ..
+            } => {
+                let got: Vec<&[u8]> = keys.ranges().map(|(s, e)| &line[s..e]).collect();
+                assert_eq!(got, vec![&b"aa"[..], &b"b"[..]]);
+            }
+            other => panic!("expected get, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_request_skips_blank_lines_and_counts_them() {
+        match next_request(b"\r\n\nversion\r\n") {
+            NextRequest::Request {
+                cmd: Command::Version,
+                consumed,
+                ..
+            } => assert_eq!(consumed, 12),
+            other => panic!("expected version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_request_parse_error_keeps_connection() {
+        match next_request(b"frobnicate\r\nversion\r\n") {
+            NextRequest::Error { msg, consumed } => {
+                assert!(msg.contains("unknown command"), "{msg}");
+                assert_eq!(consumed, 12);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_request_desync_on_bad_terminator_or_huge_block() {
+        assert!(matches!(
+            next_request(b"set k 0 0 2\r\nxyQQget k\r\n"),
+            NextRequest::Desync
+        ));
+        let huge = format!("set k 0 0 {}\r\n", MAX_DATA_BLOCK + 1);
+        assert!(matches!(next_request(huge.as_bytes()), NextRequest::Desync));
     }
 }

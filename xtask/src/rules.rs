@@ -728,6 +728,8 @@ pub const RULES: &[(&str, &str)] = &[
 /// points; `multi_get` is the client-side plan→fetch→writeback driver.
 pub const CLONE_ROOTS: &[(&str, &str)] = &[
     ("crates/rnb-store/src/server.rs", "serve_connection"),
+    ("crates/rnb-store/src/server.rs", "serve_burst"),
+    ("crates/rnb-store/src/poller.rs", "sweep"),
     ("crates/rnb-client/src/client.rs", "multi_get"),
 ];
 
@@ -746,7 +748,7 @@ pub const CLONE_ALLOWLIST: &[(&str, &str, &str)] = &[
     ),
     (
         "crates/rnb-store/src/client.rs",
-        "gets_inner",
+        "recv_gets",
         "duplicate requested keys each receive an owned copy of the VALUE \
          payload; unique-key requests always take the move path",
     ),
@@ -770,6 +772,8 @@ pub const CLONE_ALLOWLIST: &[(&str, &str, &str)] = &[
 /// panic-freedom.
 pub const PANIC_ROOTS: &[(&str, &str)] = &[
     ("crates/rnb-store/src/server.rs", "serve_connection"),
+    ("crates/rnb-store/src/server.rs", "serve_burst"),
+    ("crates/rnb-store/src/poller.rs", "sweep"),
     ("crates/rnb-store/src/store.rs", "get_multi"),
     ("crates/rnb-store/src/store.rs", "get_multi_with"),
     ("crates/rnb-client/src/client.rs", "multi_get"),
