@@ -178,6 +178,23 @@ impl RnbClient {
         self.conns.len()
     }
 
+    /// Repoint server slot `server` at a new address.
+    ///
+    /// Placement is keyed by server *index*, not address, so a node that
+    /// was restarted on a different port keeps its logical identity: the
+    /// deployment updates every client's address list and the slot
+    /// reconnects lazily on next use (counted in
+    /// [`ClientStats::reconnects`] like any other reconnect). The old
+    /// connection, if any, is dropped as broken. Out-of-range indices are
+    /// ignored: membership changes (resizing the fleet) require a new
+    /// client because they change the placement itself.
+    pub fn set_server_addr(&mut self, server: usize, addr: SocketAddr) {
+        if let Some(slot) = self.conns.get_mut(server) {
+            slot.addr = addr;
+            slot.mark_broken();
+        }
+    }
+
     /// Accumulated counters.
     pub fn stats(&self) -> ClientStats {
         self.stats

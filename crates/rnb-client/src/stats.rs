@@ -46,6 +46,42 @@ impl ClientStats {
             (self.round1_txns + self.round2_txns + self.round3_txns) as f64 / self.requests as f64
         }
     }
+
+    /// Field-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// [`crate::RnbClient::stats`] returns cumulative counters; scenario
+    /// harnesses snapshot them between rounds and difference the
+    /// snapshots to attribute traffic to one round:
+    ///
+    /// ```
+    /// use rnb_client::ClientStats;
+    /// let before = ClientStats { requests: 10, round1_txns: 20, ..Default::default() };
+    /// let after = ClientStats { requests: 14, round1_txns: 30, ..Default::default() };
+    /// let delta = after.since(&before);
+    /// assert_eq!(delta.requests, 4);
+    /// assert_eq!(delta.round1_txns, 10);
+    /// ```
+    pub fn since(&self, earlier: &ClientStats) -> ClientStats {
+        ClientStats {
+            requests: self.requests.saturating_sub(earlier.requests),
+            round1_txns: self.round1_txns.saturating_sub(earlier.round1_txns),
+            round2_txns: self.round2_txns.saturating_sub(earlier.round2_txns),
+            round3_txns: self.round3_txns.saturating_sub(earlier.round3_txns),
+            planned_misses: self.planned_misses.saturating_sub(earlier.planned_misses),
+            rescued_by_hitchhikers: self
+                .rescued_by_hitchhikers
+                .saturating_sub(earlier.rescued_by_hitchhikers),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            unavailable_items: self
+                .unavailable_items
+                .saturating_sub(earlier.unavailable_items),
+            writes: self.writes.saturating_sub(earlier.writes),
+            write_txns: self.write_txns.saturating_sub(earlier.write_txns),
+            cas_retries: self.cas_retries.saturating_sub(earlier.cas_retries),
+            failed_txns: self.failed_txns.saturating_sub(earlier.failed_txns),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,6 +98,59 @@ mod tests {
         };
         assert!((s.tpr() - 3.0).abs() < 1e-12);
         assert_eq!(ClientStats::default().tpr(), 0.0);
+    }
+
+    #[test]
+    fn since_differences_every_field() {
+        let earlier = ClientStats {
+            requests: 1,
+            round1_txns: 2,
+            round2_txns: 3,
+            round3_txns: 4,
+            planned_misses: 5,
+            rescued_by_hitchhikers: 6,
+            writebacks: 7,
+            unavailable_items: 8,
+            writes: 9,
+            write_txns: 10,
+            cas_retries: 11,
+            failed_txns: 12,
+            reconnects: 13,
+        };
+        let later = ClientStats {
+            requests: 11,
+            round1_txns: 12,
+            round2_txns: 13,
+            round3_txns: 14,
+            planned_misses: 15,
+            rescued_by_hitchhikers: 16,
+            writebacks: 17,
+            unavailable_items: 18,
+            writes: 19,
+            write_txns: 20,
+            cas_retries: 21,
+            failed_txns: 22,
+            reconnects: 23,
+        };
+        let delta = later.since(&earlier);
+        let expect = ClientStats {
+            requests: 10,
+            round1_txns: 10,
+            round2_txns: 10,
+            round3_txns: 10,
+            planned_misses: 10,
+            rescued_by_hitchhikers: 10,
+            writebacks: 10,
+            unavailable_items: 10,
+            writes: 10,
+            write_txns: 10,
+            cas_retries: 10,
+            failed_txns: 10,
+            reconnects: 10,
+        };
+        assert_eq!(delta, expect);
+        // A stale (newer) snapshot saturates instead of wrapping.
+        assert_eq!(earlier.since(&later), ClientStats::default());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Scenario grid runner.
+//!
+//! ```text
+//! cargo run -p rnb-cluster --                  # full grid
+//! cargo run -p rnb-cluster -- --quick          # CI smoke sizes
+//! cargo run -p rnb-cluster -- --scenario kill_restart
+//! cargo run -p rnb-cluster -- --list
+//! cargo run -p rnb-cluster -- --out /tmp/artifacts
+//! ```
+//!
+//! Each scenario writes `SCENARIO_<name>.json` (schema
+//! `rnb-scenario-v1`, see EXPERIMENTS.md) into the artifact directory
+//! and the process exits non-zero if any scenario violates its bounds —
+//! artifacts are still written for failed scenarios so CI can upload
+//! them unconditionally.
+
+use rnb_cluster::{default_artifact_dir, run_scenario, scenario_grid, write_artifact};
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut only: Option<String> = None;
+    let mut list = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--scenario" => {
+                only = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--scenario needs a name")),
+                );
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                ));
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("usage: rnb-cluster [--quick] [--scenario NAME] [--out DIR] [--list]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let grid = scenario_grid(quick);
+    if list {
+        for s in &grid {
+            println!("{:<16} {}", s.name, s.event.describe());
+        }
+        return;
+    }
+    let dir = out.unwrap_or_else(default_artifact_dir);
+    let mut failures = 0usize;
+    let mut ran = 0usize;
+    for s in &grid {
+        if let Some(name) = &only {
+            if s.name != name {
+                continue;
+            }
+        }
+        ran += 1;
+        println!("[scenario] {} ({})", s.name, s.event.describe());
+        match run_scenario(s) {
+            Ok(report) => {
+                let path = match write_artifact(&report, &dir) {
+                    Ok(p) => p.display().to_string(),
+                    Err(e) => {
+                        failures += 1;
+                        format!("<write failed: {e}>")
+                    }
+                };
+                let m = &report.metrics;
+                println!(
+                    "[scenario] {}: tpr {:.3}, transition miss {:.4}, \
+                     recovery {:?} rounds / {:?} ms, {} reconnects -> {}",
+                    s.name,
+                    m.overall_tpr,
+                    m.transition_miss_rate,
+                    m.recovery_rounds,
+                    m.recovery_ms.map(|ms| ms.round()),
+                    m.reconnects,
+                    path
+                );
+                if !report.passed() {
+                    failures += 1;
+                    for v in &report.violations {
+                        eprintln!("[scenario] {} VIOLATION: {v}", s.name);
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("[scenario] {} failed to run: {e}", s.name);
+            }
+        }
+    }
+    if ran == 0 {
+        die("no scenario matched (try --list)");
+    }
+    if failures > 0 {
+        die(&format!("{failures} scenario failure(s)"));
+    }
+}
+
+// CLI errors exit the process by design; the workspace-wide
+// `clippy::exit` deny targets library code.
+#[allow(clippy::exit)]
+fn die(msg: &str) -> ! {
+    eprintln!("rnb-cluster: {msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,42 @@
+//! Multi-process cluster scenario harness for RnB.
+//!
+//! ROADMAP item 3: everything the paper promises at the system level —
+//! bundling across servers, distinguished-copy fallback when a replica
+//! holder dies (§IV), elasticity under ranged consistent hashing — is
+//! exercised here against *real* `rnb-stored` processes over real
+//! sockets, not in-process servers or the simulator. A scenario is one
+//! (topology, workload, event) cell: the harness launches the fleet,
+//! pre-populates the universe, drives seeded multi-get rounds through
+//! [`rnb_client::RnbClient`], injects the event (kill/restart, elastic
+//! scale-out/scale-in, hot-key storm, flash crowd), and emits one
+//! reproducible JSON artifact with recovery-time, reconnect-count, and
+//! miss-rate-during-transition metrics, checked against declared
+//! regression bounds.
+//!
+//! Design constraints the layers below uphold:
+//!
+//! * **No sleeps, no polling** (xtask rule R5): every synchronization
+//!   point is a pipe handshake (`READY <addr>` / `shutdown` / `BYE`),
+//!   a blocking read, or a `wait(2)` — see [`stored`].
+//! * **Stable logical identities**: placement is keyed by server index,
+//!   so restarts land on fresh ports and clients follow via
+//!   `RnbClient::set_server_addr`; elasticity touches only the tail
+//!   slot — see [`cluster`].
+//! * **Attributable counters**: every metric is a [`rnb_client::ClientStats`]
+//!   delta between round snapshots — see [`scenario`].
+//!
+//! Run the grid with `cargo run -p rnb-cluster -- --quick` (CI smoke)
+//! or assert it under test with `cargo test -p rnb-cluster`.
+
+pub mod cluster;
+pub mod report;
+pub mod scenario;
+pub mod stored;
+
+pub use cluster::Cluster;
+pub use report::{default_artifact_dir, render_json, write_artifact};
+pub use scenario::{
+    run_scenario, scenario_grid, Bounds, Event, RoundStats, Scenario, ScenarioMetrics,
+    ScenarioReport, Topology, WorkloadSpec,
+};
+pub use stored::{stored_binary, NodeConfig, StoredNode};

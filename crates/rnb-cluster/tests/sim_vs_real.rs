@@ -1,0 +1,70 @@
+//! Differential test: the same (topology, workload, seed) cell run
+//! through `rnb-sim` and through a real process fleet must agree on
+//! transactions-per-request.
+//!
+//! Both sides share the planner (`rnb_core::Bundler`) and the placement
+//! config, and both run with ample memory and a fully resident universe,
+//! so neither should see planned misses — TPR reduces to the mean greedy
+//! cover size on an identical request sequence and the two numbers
+//! should match to within rounding. The declared tolerance (2% relative)
+//! leaves room for benign divergence (e.g. a future sim-side policy
+//! default) while still catching real sim/real drift permanently.
+
+use rnb_client::{RnbClient, RnbClientConfig};
+use rnb_cluster::{Cluster, NodeConfig};
+use rnb_sim::{run_experiment, ExperimentConfig, SimConfig};
+use rnb_workload::{RequestStream, UniformRequests};
+
+const SERVERS: usize = 4;
+const REPLICATION: usize = 2;
+const UNIVERSE: u64 = 512;
+const REQUEST_SIZE: usize = 8;
+const SEED: u64 = 0xD1FF;
+const REQUESTS: usize = 256;
+/// Declared sim-vs-real TPR tolerance (relative).
+const TOLERANCE: f64 = 0.02;
+
+#[test]
+fn sim_and_real_cluster_agree_on_tpr() {
+    // Simulator side.
+    let sim = SimConfig::basic(SERVERS, REPLICATION);
+    let rnb = sim.client_config();
+    let mut stream = UniformRequests::new(UNIVERSE, REQUEST_SIZE, SEED);
+    let metrics = run_experiment(
+        &ExperimentConfig::new(sim, 0, REQUESTS),
+        UNIVERSE as usize,
+        &mut stream,
+    );
+    let sim_tpr = metrics.tpr();
+    assert_eq!(metrics.planned_misses, 0, "unlimited sim memory");
+
+    // Real side: same placement config (server count, hash, seed), same
+    // request stream reconstructed from the same seed.
+    let mut cluster = Cluster::launch(SERVERS, NodeConfig::default()).expect("fleet up");
+    let mut config = RnbClientConfig::new(REPLICATION);
+    config.rnb = rnb;
+    let mut client = RnbClient::connect(&cluster.addrs(), config).expect("client connects");
+    for item in 0..UNIVERSE {
+        client.set(item, b"payload").expect("populate");
+    }
+    let before = client.stats();
+    let mut stream = UniformRequests::new(UNIVERSE, REQUEST_SIZE, SEED);
+    for _ in 0..REQUESTS {
+        client.multi_get(&stream.next_request()).expect("multi_get");
+    }
+    let d = client.stats().since(&before);
+    // Close our connections before the graceful shutdown: a drain waits
+    // (bounded) for clients to hang up.
+    drop(client);
+    cluster.shutdown_all().expect("graceful shutdown");
+
+    assert_eq!(d.requests, REQUESTS as u64);
+    assert_eq!(d.unavailable_items, 0, "fully populated fleet");
+    assert_eq!(d.failed_txns, 0, "healthy fleet");
+    let real_tpr = d.tpr();
+    assert!(
+        (real_tpr - sim_tpr).abs() <= TOLERANCE * sim_tpr,
+        "sim/real TPR drift: sim {sim_tpr:.4} vs real {real_tpr:.4} \
+         (tolerance {TOLERANCE})"
+    );
+}

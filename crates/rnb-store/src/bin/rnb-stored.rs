@@ -6,13 +6,32 @@
 //! cargo run --release -p rnb-store --bin rnb-stored -- [--port P] [--mem MB]
 //! # then: printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 P
 //! ```
+//!
+//! Harness mode (`--control`, used by `rnb-cluster`): the daemon prints
+//! one machine-readable `READY <addr>` line on stdout once the listener
+//! is bound (`--port 0` asks the OS for a port, so the line is the only
+//! way to learn it), then reads stdin for a `shutdown` command. On
+//! `shutdown` — or stdin EOF, so an orphaned daemon never outlives its
+//! harness — it drains in-flight connections via
+//! [`StoreServer::shutdown_drain`], prints `BYE`, and exits 0. No
+//! signals are involved, so harnesses synchronize on pipes alone,
+//! without sleeps or SIGTERM races.
 
-use rnb_store::{Store, StoreServer};
+use rnb_store::{ServerConfig, Store, StoreServer};
+use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a `--control` shutdown waits for live connections to drain
+/// before closing them abruptly (nominal wait, see `shutdown_drain`).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 
 fn main() {
     let mut port: u16 = 11311;
     let mut mem_mb: usize = 64;
+    let mut shards: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut control = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,7 +39,7 @@ fn main() {
                 port = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--port needs a number"));
+                    .unwrap_or_else(|| die("--port needs a number (0 = OS-chosen)"));
             }
             "--mem" => {
                 mem_mb = args
@@ -28,33 +47,87 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--mem needs a number (MB)"));
             }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&s| s > 0)
+                        .unwrap_or_else(|| die("--shards needs a positive number")),
+                );
+            }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w| w > 0)
+                        .unwrap_or_else(|| die("--workers needs a positive number")),
+                );
+            }
+            "--control" => control = true,
             "--help" | "-h" => {
-                println!("usage: rnb-stored [--port P] [--mem MB]");
+                println!(
+                    "usage: rnb-stored [--port P] [--mem MB] [--shards N] \
+                     [--workers N] [--control]"
+                );
+                println!("  --port 0     bind an OS-chosen port (printed on stdout)");
+                println!("  --control    READY/shutdown/BYE handshake on stdout/stdin");
                 return;
             }
             other => die(&format!("unknown argument {other:?}")),
         }
     }
 
-    let store = Arc::new(Store::new(mem_mb << 20));
-    // StoreServer binds an ephemeral port; for a daemon we want the
-    // requested one, so bind it ourselves by reusing the library after
-    // checking availability.
-    let server = match StoreServer::start_on(Arc::clone(&store), port) {
+    let store = match shards {
+        Some(s) => Arc::new(Store::with_shards(mem_mb << 20, s)),
+        None => Arc::new(Store::new(mem_mb << 20)),
+    };
+    let mut config = ServerConfig::default();
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    let mut server = match StoreServer::start_with(Arc::clone(&store), port, config) {
         Ok(s) => s,
         Err(e) => die(&format!("cannot listen on port {port}: {e}")),
     };
+    // The READY line is the machine-readable half of the handshake: the
+    // harness blocks on it instead of sleeping-and-retrying, and it is
+    // the only way to learn an OS-chosen (`--port 0`) address.
+    println!("READY {}", server.addr());
     println!(
-        "rnb-stored listening on {} ({} MB budget)",
+        "rnb-stored listening on {} ({} MB budget, {} threads)",
         server.addr(),
-        mem_mb
+        mem_mb,
+        server.thread_count()
     );
-    println!("press Ctrl-C to stop");
-    loop {
-        // Nothing to do on the main thread until Ctrl-C kills the
-        // process; park (looping over spurious unparks) instead of a
-        // periodic sleep so the thread truly blocks.
-        std::thread::park();
+    let _ = std::io::stdout().flush();
+
+    if control {
+        // Block on stdin: `shutdown` (or EOF — the harness died or
+        // closed the pipe) triggers a graceful drain.
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if line.trim() == "shutdown" {
+                        break;
+                    }
+                }
+            }
+        }
+        server.shutdown_drain(DRAIN_DEADLINE);
+        println!("BYE");
+        let _ = std::io::stdout().flush();
+    } else {
+        println!("press Ctrl-C to stop");
+        loop {
+            // Nothing to do on the main thread until Ctrl-C kills the
+            // process; park (looping over spurious unparks) instead of a
+            // periodic sleep so the thread truly blocks.
+            std::thread::park();
+        }
     }
 }
 

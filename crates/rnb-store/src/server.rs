@@ -97,6 +97,7 @@ pub struct StoreServer {
     addr: SocketAddr,
     store: Arc<Store>,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     poll_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -123,6 +124,7 @@ impl StoreServer {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(ConnCount::default());
 
         // Accept → poller intake (bounded: backpressure on accept).
@@ -239,11 +241,13 @@ impl StoreServer {
         drop(return_tx); // only worker clones remain
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_draining = Arc::clone(&draining);
         let accept_registry = Arc::clone(&registry);
         let accept_thread = std::thread::spawn(move || {
             let mut next_id: u64 = 0;
             for conn in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
+                if accept_shutdown.load(Ordering::SeqCst) || accept_draining.load(Ordering::SeqCst)
+                {
                     break;
                 }
                 match conn {
@@ -270,6 +274,7 @@ impl StoreServer {
             addr,
             store,
             shutdown,
+            draining,
             accept_thread: Some(accept_thread),
             poll_thread: Some(poll_thread),
             workers,
@@ -300,6 +305,42 @@ impl StoreServer {
     /// C10K property the readiness loop exists for.
     pub fn thread_count(&self) -> usize {
         2 + self.workers.len()
+    }
+
+    /// Graceful shutdown: stop accepting new connections, keep serving
+    /// the live ones until their clients disconnect (or `deadline`
+    /// nominal wait expires), then tear the server down. Unlike
+    /// [`StoreServer::shutdown`] — which models a crash and may close a
+    /// connection with requests still buffered — a drained shutdown
+    /// never truncates: every request whose bytes arrived before the
+    /// client's half-close is executed and its reply flushed, because
+    /// connections are only retired on EOF/error while draining.
+    ///
+    /// The deadline bounds how long the drain waits for clients that
+    /// never disconnect; it is a nominal wait (counted in 1 ms parked
+    /// intervals, no wall-clock read), after which the remaining
+    /// connections are closed abruptly as in a plain `shutdown`.
+    pub fn shutdown_drain(&mut self, deadline: Duration) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.draining.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the draining flag
+            // and releases the listener.
+            let _ = TcpStream::connect(self.addr);
+            if let Some(t) = self.accept_thread.take() {
+                let _ = t.join();
+            }
+            // The poller keeps sweeping and workers keep serving while
+            // we wait for the registry to empty: each connection drains
+            // its buffered requests and retires on EOF when its client
+            // hangs up.
+            let step = Duration::from_millis(1);
+            let mut waited = Duration::ZERO;
+            while self.registry.len() > 0 && waited < deadline {
+                std::thread::park_timeout(step);
+                waited += step;
+            }
+        }
+        self.shutdown();
     }
 
     /// Stop accepting connections, close every live connection, and join

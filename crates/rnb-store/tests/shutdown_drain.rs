@@ -1,0 +1,95 @@
+//! Regression tests for graceful shutdown: a drained shutdown must not
+//! truncate replies to requests the server already received.
+//!
+//! The old hard exit path (`StoreServer::shutdown`) models a crash:
+//! workers drop connections the moment the flag flips, so a pipelined
+//! client could observe a closed socket with half its replies missing.
+//! `shutdown_drain` keeps serving until clients hang up (or a bounded
+//! deadline), which makes the scripted sequence below fully
+//! deterministic: the client half-closes after sending, TCP orders the
+//! FIN after the request bytes, so the server reads every request and
+//! flushes every reply before retiring the connection on EOF.
+
+use rnb_store::{Store, StoreServer};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A pipelined burst racing a draining shutdown still gets every reply.
+#[test]
+fn drain_does_not_truncate_pipelined_replies() {
+    for _round in 0..10 {
+        let mut server = StoreServer::start(Arc::new(Store::new(1 << 22))).unwrap();
+
+        // Connect before the drain starts (a draining server rejects
+        // *new* connections by design) and wait — bounded, no sleeping —
+        // until the poller owns the socket, so the race below is about
+        // buffered requests, not the accept handshake.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut polls = 0u64;
+        while server.live_connections() == 0 {
+            polls += 1;
+            assert!(polls < 50_000_000, "connection never registered");
+            std::thread::yield_now();
+        }
+
+        let client = std::thread::spawn(move || {
+            let mut stream = stream;
+            // 32 pipelined requests in one segment, then half-close: the
+            // FIN arrives after the request bytes, so a draining server
+            // is obliged to answer all of them.
+            let mut burst = Vec::new();
+            for i in 0..16 {
+                let val = format!("v{i}");
+                burst.extend_from_slice(
+                    format!("set k{i} 0 0 {}\r\n{val}\r\n", val.len()).as_bytes(),
+                );
+                burst.extend_from_slice(format!("get k{i}\r\n").as_bytes());
+            }
+            stream.write_all(&burst).unwrap();
+            stream.shutdown(Shutdown::Write).unwrap();
+            let mut got = Vec::new();
+            stream.read_to_end(&mut got).unwrap();
+            String::from_utf8(got).unwrap()
+        });
+
+        // Race: the drain starts while the burst may still be in flight.
+        server.shutdown_drain(Duration::from_secs(10));
+
+        let text = client.join().unwrap();
+        let mut expect = String::new();
+        for i in 0..16 {
+            let val = format!("v{i}");
+            expect.push_str("STORED\r\n");
+            expect.push_str(&format!("VALUE k{i} 0 {}\r\n{val}\r\nEND\r\n", val.len()));
+        }
+        assert_eq!(text, expect, "truncated or reordered replies");
+    }
+}
+
+/// A client that never disconnects cannot wedge the drain forever: the
+/// deadline expires and the remaining connection is closed abruptly.
+#[test]
+fn drain_deadline_bounds_lingering_clients() {
+    let mut server = StoreServer::start(Arc::new(Store::new(1 << 20))).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    server.shutdown_drain(Duration::from_millis(50));
+    // The server is fully shut down despite the open connection.
+    let mut stream = stream;
+    let _ = stream.write_all(b"version\r\n");
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "connection must be closed after the deadline");
+}
+
+/// Drain on an idle server (no connections) returns promptly and is
+/// idempotent with the crash-style shutdown.
+#[test]
+fn drain_without_connections_is_immediate() {
+    let mut server = StoreServer::start(Arc::new(Store::new(1 << 20))).unwrap();
+    server.shutdown_drain(Duration::from_secs(10));
+    server.shutdown();
+    server.shutdown_drain(Duration::from_secs(10));
+}

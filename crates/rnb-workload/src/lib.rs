@@ -19,17 +19,23 @@
 //! * **LIMIT** (§III-F) — requests of the form "fetch at least X of these
 //!   items": [`limit::LimitSpec`] converts a fetched-fraction into a
 //!   per-request minimum item count.
+//!
+//! And a composition layer: [`phases::ScriptedRequests`] switches between
+//! inner streams on a declared schedule, the timeline primitive behind
+//! the `rnb-cluster` scenario harness (hot-key storms, flash crowds).
 
 pub mod ego;
 pub mod limit;
 pub mod mc;
 pub mod mix;
+pub mod phases;
 pub mod zipf;
 
 pub use ego::EgoRequests;
 pub use limit::LimitSpec;
 pub use mc::UniformRequests;
 pub use mix::{Op, ReadWriteMix};
+pub use phases::ScriptedRequests;
 pub use zipf::ZipfRequests;
 
 use rnb_graph::DiGraph;

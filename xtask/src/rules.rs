@@ -75,6 +75,11 @@ pub const TIME_ALLOWLIST: &[(&str, &str)] = &[
         "the one sanctioned wall-clock read in rnb-store: RealClock anchors \
          an Instant; shard/store/server/loadgen all take an injected Clock",
     ),
+    (
+        "crates/rnb-cluster/",
+        "cluster scenario harness: recovery-time artifacts report measured \
+         wall-clock (recovery_ms) alongside the round-count metric",
+    ),
 ];
 
 /// Files allowed to call `thread::sleep` in non-test code, with the
