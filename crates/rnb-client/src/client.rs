@@ -2,9 +2,12 @@
 
 use crate::keys::item_key;
 use crate::stats::ClientStats;
-use rnb_core::{Bundler, PlacementStrategy, PlanScratch, RnbConfig, WritePlanner, WritePolicy};
+use rnb_core::{
+    Bundler, PlacementStrategy, PlanScratch, RnbConfig, WriteBatchPlanner, WriteGroup,
+    WritePlanner, WritePolicy,
+};
 use rnb_hash::{ItemId, Placement, ServerId};
-use rnb_store::StoreClient;
+use rnb_store::{StorageOp, StoreClient};
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
@@ -129,6 +132,52 @@ fn conn_for<'a>(
     Ok(conn)
 }
 
+/// Execute one phase of a bundled write batch: send every group's burst
+/// before reading any reply (PR 8's read-pipelining shape replayed on
+/// the write side, so a phase costs one RTT, not the sum of per-server
+/// RTTs). A failed send or receive marks that connection broken, counts
+/// a failed transaction, and records the first error; surviving bursts
+/// still complete — desync on one server must not corrupt the others.
+fn run_write_bursts(
+    conns: &mut [ServerConn],
+    stats: &mut ClientStats,
+    groups: &[WriteGroup],
+    ops: &[Vec<StorageOp<'_>>],
+    first_err: &mut Option<io::Error>,
+) {
+    let mut sent = vec![false; groups.len()];
+    for (gi, group) in groups.iter().enumerate() {
+        let s = group.server as usize;
+        stats.write_txns += 1;
+        match conn_for(conns, stats, s).and_then(|c| c.send_storage_batch(&ops[gi])) {
+            Ok(()) => sent[gi] = true,
+            Err(e) => {
+                conns[s].mark_broken();
+                stats.failed_txns += 1;
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    let mut acks = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        if !sent[gi] {
+            continue; // already recorded as failed at send time
+        }
+        let s = group.server as usize;
+        let outcome = match conns[s].active() {
+            Some(c) => c.recv_storage_batch(&ops[gi], &mut acks),
+            // A later send on the same server broke the conn; the
+            // pending replies are lost.
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "conn broken")),
+        };
+        if let Err(e) = outcome {
+            conns[s].mark_broken();
+            stats.failed_txns += 1;
+            first_err.get_or_insert(e);
+        }
+    }
+}
+
 /// One read-round transaction materialized for the wire: target server,
 /// planned-item prefix length, items (planned first, hitchhikers
 /// after), and their encoded keys.
@@ -144,6 +193,9 @@ pub struct RnbClient {
     /// Pooled planning buffers, reused across `multi_get` calls so the
     /// per-request cover computation is allocation-free at steady state.
     scratch: PlanScratch,
+    /// Pooled write-batch planner, reused across `multi_set` calls
+    /// (same steady-state discipline as `scratch`, on the write side).
+    batcher: WriteBatchPlanner,
 }
 
 impl RnbClient {
@@ -170,6 +222,7 @@ impl RnbClient {
             config,
             stats: ClientStats::default(),
             scratch: PlanScratch::new(),
+            batcher: WriteBatchPlanner::new(),
         })
     }
 
@@ -478,13 +531,103 @@ impl RnbClient {
         Ok(())
     }
 
+    /// Store a whole batch of `(item, value)` pairs with bundled,
+    /// pipelined write transactions.
+    ///
+    /// The pooled [`WriteBatchPlanner`] groups every per-replica
+    /// transaction of the batch by server, then each touched server
+    /// receives its whole op list as ONE pipelined burst
+    /// ([`StoreClient::send_storage_batch`] /
+    /// [`StoreClient::recv_storage_batch`]): per batch, a server costs
+    /// one round-trip per phase instead of one per item-replica. Under
+    /// [`WritePolicy::InvalidateThenWrite`] the invalidation bursts are
+    /// fully received before any write burst is sent, so the §IV
+    /// ordering invariant holds batch-wide: no stale replica outlives
+    /// its item's distinguished write.
+    ///
+    /// Duplicate items keep batch order (later value wins), and with
+    /// pipelining disabled this degrades to the sequential
+    /// [`RnbClient::set`] loop — the differential oracle for the TCP
+    /// equivalence proptest. I/O errors follow `multi_get`'s failure
+    /// semantics (broken connections are marked and redialed lazily,
+    /// failed bursts counted in [`ClientStats::failed_txns`]); the first
+    /// error is returned after every burst has completed, so a partial
+    /// failure never desyncs the surviving connections.
+    pub fn multi_set<V: AsRef<[u8]>>(&mut self, entries: &[(ItemId, V)]) -> io::Result<()> {
+        if !self.config.pipeline {
+            for (item, value) in entries {
+                self.set(*item, value.as_ref())?;
+            }
+            return Ok(());
+        }
+        let RnbClient {
+            conns,
+            writer,
+            stats,
+            batcher,
+            ..
+        } = self;
+        let plan = batcher.plan_batch(writer, entries.iter().map(|&(item, _)| item));
+        let mut first_err = None;
+
+        // Phase 1: invalidation bursts (InvalidateThenWrite only; empty
+        // under WriteAll). Fully flushed — sent AND acknowledged —
+        // before phase 2 starts.
+        let inval_keys: Vec<Vec<Vec<u8>>> = plan
+            .invalidations
+            .iter()
+            .map(|g| g.ops.iter().map(|&(item, _)| item_key(item)).collect())
+            .collect();
+        let inval_ops: Vec<Vec<StorageOp<'_>>> = inval_keys
+            .iter()
+            .map(|keys| keys.iter().map(|key| StorageOp::Delete { key }).collect())
+            .collect();
+        run_write_bursts(conns, stats, plan.invalidations, &inval_ops, &mut first_err);
+
+        // Phase 2: the distinguished writes (every replica's write under
+        // WriteAll), one burst per touched server.
+        let write_keys: Vec<Vec<Vec<u8>>> = plan
+            .writes
+            .iter()
+            .map(|g| g.ops.iter().map(|&(item, _)| item_key(item)).collect())
+            .collect();
+        let write_ops: Vec<Vec<StorageOp<'_>>> = plan
+            .writes
+            .iter()
+            .zip(&write_keys)
+            .map(|(g, keys)| {
+                g.ops
+                    .iter()
+                    .zip(keys)
+                    .map(|(&(_, index), key)| StorageOp::Set {
+                        key,
+                        value: entries[index].1.as_ref(),
+                        flags: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        run_write_bursts(conns, stats, plan.writes, &write_ops, &mut first_err);
+
+        self.stats.writes += entries.len() as u64;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Delete `item` everywhere (all logical replicas).
     pub fn delete(&mut self, item: ItemId) -> io::Result<bool> {
         let key = item_key(item);
         let mut any = false;
         for server in self.bundler.placement().replicas(item) {
             any |= self.with_conn(server as usize, |c| c.delete(&key))?;
+            // Each replica delete is a write-side transaction, counted
+            // exactly like `set`'s invalidations (mixed-workload
+            // accounting used to undercount here).
+            self.stats.write_txns += 1;
         }
+        self.stats.writes += 1;
         Ok(any)
     }
 

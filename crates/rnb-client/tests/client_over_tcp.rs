@@ -438,3 +438,213 @@ fn delete_removes_all_replicas() {
     }
     assert!(client.multi_get(&[11]).unwrap()[0].is_none());
 }
+
+#[test]
+fn delete_counts_write_transactions() {
+    // Regression: `delete` used to skip the write-side counters
+    // entirely, so mixed workloads undercounted their transactions.
+    let fleet = Fleet::start(5, 1 << 20);
+    let mut client = RnbClient::connect(&fleet.addrs(), RnbClientConfig::new(3)).unwrap();
+    client.set(11, b"v").unwrap();
+    let before = client.stats();
+    client.delete(11).unwrap();
+    let after = client.stats();
+    assert_eq!(
+        after.write_txns - before.write_txns,
+        3,
+        "one write txn per replica delete"
+    );
+    assert_eq!(after.writes - before.writes, 1, "one logical write op");
+    // A delete of an absent item still pays the same transactions.
+    client.delete(11).unwrap();
+    let end = client.stats();
+    assert_eq!(end.write_txns - after.write_txns, 3);
+    assert_eq!(end.writes - after.writes, 1);
+}
+
+#[test]
+fn multi_set_bursts_once_per_touched_server() {
+    // The acceptance pin: a 200-item batch under 3-way WriteAll costs
+    // 600 per-replica transactions sequentially, but multi_set must
+    // issue exactly ONE pipelined burst per touched server.
+    let fleet = Fleet::start(8, 1 << 22);
+    let mut client = RnbClient::connect(&fleet.addrs(), RnbClientConfig::new(3)).unwrap();
+    let entries: Vec<(u64, Vec<u8>)> = (0..200u64)
+        .map(|i| (i, format!("mv{i}").into_bytes()))
+        .collect();
+    let touched: std::collections::HashSet<u32> = entries
+        .iter()
+        .flat_map(|&(item, _)| client.bundler().placement().replicas(item))
+        .collect();
+    let before = client.stats();
+    client.multi_set(&entries).unwrap();
+    let after = client.stats();
+    assert_eq!(
+        after.write_txns - before.write_txns,
+        touched.len() as u64,
+        "exactly one burst per touched server"
+    );
+    assert_eq!(after.writes - before.writes, 200);
+    assert_eq!(after.failed_txns, before.failed_txns);
+    // Every replica actually holds the bytes, and reads round-trip.
+    let copies: usize = (0..8).map(|s| fleet.store(s).len()).sum();
+    assert_eq!(copies, 200 * 3);
+    let request: Vec<u64> = (0..200).collect();
+    let values = client.multi_get(&request).unwrap();
+    for (item, value) in request.iter().zip(&values) {
+        assert_eq!(value.as_deref(), Some(format!("mv{item}").as_bytes()));
+    }
+}
+
+#[test]
+fn multi_set_invalidate_then_write_over_tcp() {
+    let fleet = Fleet::start(6, 1 << 22);
+    let config = RnbClientConfig::new(3).with_write_policy(WritePolicy::InvalidateThenWrite);
+    let mut client = RnbClient::connect(&fleet.addrs(), config).unwrap();
+    let entries: Vec<(u64, Vec<u8>)> = (0..150u64)
+        .map(|i| (i, format!("iw{i}").into_bytes()))
+        .collect();
+    // Expected burst count: one per distinct server in the invalidation
+    // phase plus one per distinct distinguished server in the write
+    // phase (the §IV ordering means they cannot be merged).
+    let mut inval_servers = std::collections::HashSet::new();
+    let mut write_servers = std::collections::HashSet::new();
+    for &(item, _) in &entries {
+        let reps = client.bundler().placement().replicas(item);
+        write_servers.insert(reps[0]);
+        for &r in &reps[1..] {
+            inval_servers.insert(r);
+        }
+    }
+    let before = client.stats();
+    client.multi_set(&entries).unwrap();
+    let after = client.stats();
+    assert_eq!(
+        after.write_txns - before.write_txns,
+        (inval_servers.len() + write_servers.len()) as u64
+    );
+    // Policy semantics batch-wide: only distinguished copies remain.
+    for &(item, _) in &entries {
+        let reps = client.bundler().placement().replicas(item);
+        assert!(
+            fleet.store(reps[0] as usize).get(&item_key(item)).is_some(),
+            "item {item}: distinguished copy missing"
+        );
+        for &server in &reps[1..] {
+            assert!(
+                fleet.store(server as usize).get(&item_key(item)).is_none(),
+                "item {item}: stale replica on server {server}"
+            );
+        }
+    }
+    // Duplicate items resolve in batch order: the later value wins.
+    client
+        .multi_set(&[(7u64, &b"first"[..]), (7, b"second")])
+        .unwrap();
+    let values = client.multi_get(&[7]).unwrap();
+    assert_eq!(values[0].as_deref(), Some(&b"second"[..]));
+}
+
+mod bundled_write_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Env {
+        fleet_piped: Fleet,
+        fleet_seq: Fleet,
+        pipelined: RnbClient,
+        sequential: RnbClient,
+    }
+
+    // Two same-shaped fleets (placement depends only on fleet size and
+    // config, so item→server maps are identical): the pipelined client
+    // writes one, the sequential oracle the other, and the fleets must
+    // stay byte-identical server by server.
+    fn env() -> &'static Mutex<Env> {
+        static ENV: OnceLock<Mutex<Env>> = OnceLock::new();
+        ENV.get_or_init(|| {
+            let fleet_piped = Fleet::start(6, 1 << 22);
+            let fleet_seq = Fleet::start(6, 1 << 22);
+            let pipelined =
+                RnbClient::connect(&fleet_piped.addrs(), RnbClientConfig::new(3)).unwrap();
+            let sequential = RnbClient::connect(
+                &fleet_seq.addrs(),
+                RnbClientConfig::new(3).with_pipeline(false),
+            )
+            .unwrap();
+            Mutex::new(Env {
+                fleet_piped,
+                fleet_seq,
+                pipelined,
+                sequential,
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The bundled write path is a transaction-count optimization,
+        /// not a semantic change: for any batch (dupes included, small
+        /// item range to force them) the pipelined `multi_set` leaves
+        /// every server's store byte-identical to a sequential `set`
+        /// loop, each server receives exactly the same number of `set`
+        /// commands, and a `multi_get` round-trips the last value
+        /// written per item.
+        #[test]
+        fn pipelined_multi_set_equals_sequential_loop(
+            batch in proptest::collection::vec((0u64..60, 0u32..1000), 1..50),
+        ) {
+            let mut guard = env().lock().unwrap();
+            let env = &mut *guard;
+            let entries: Vec<(u64, Vec<u8>)> = batch
+                .iter()
+                .map(|&(item, tok)| (item, format!("w{item}-{tok}").into_bytes()))
+                .collect();
+            let sets_before: Vec<u64> =
+                (0..6).map(|s| env.fleet_piped.store(s).stats().sets).collect();
+            let seq_before: Vec<u64> =
+                (0..6).map(|s| env.fleet_seq.store(s).stats().sets).collect();
+
+            env.pipelined.multi_set(&entries).unwrap();
+            env.sequential.multi_set(&entries).unwrap(); // degrades to the set loop
+
+            // Per-server op counts match: bundling regroups the same
+            // per-replica writes, it never adds or drops one.
+            for s in 0..6 {
+                let piped = env.fleet_piped.store(s).stats().sets - sets_before[s];
+                let seq = env.fleet_seq.store(s).stats().sets - seq_before[s];
+                prop_assert_eq!(piped, seq, "server {} set-count diverged", s);
+            }
+            // Final state matches server by server, and the last write
+            // per item wins on both paths.
+            let mut last: std::collections::HashMap<u64, &[u8]> = std::collections::HashMap::new();
+            for (item, value) in &entries {
+                last.insert(*item, value);
+            }
+            for (&item, &value) in &last {
+                let key = item_key(item);
+                for &server in &env.pipelined.bundler().placement().replicas(item) {
+                    let piped = env.fleet_piped.store(server as usize).get(&key);
+                    let seq = env.fleet_seq.store(server as usize).get(&key);
+                    prop_assert_eq!(
+                        piped.as_ref().map(|v| &v.data[..]),
+                        seq.as_ref().map(|v| &v.data[..]),
+                        "server {} state diverged for item {}", server, item
+                    );
+                    prop_assert_eq!(
+                        piped.as_ref().map(|v| &v.data[..]),
+                        Some(value),
+                        "item {} did not hold the last value", item
+                    );
+                }
+            }
+            // And the client's own read path sees the batch.
+            let items: Vec<u64> = last.keys().copied().collect();
+            let values = env.pipelined.multi_get(&items).unwrap();
+            for (item, got) in items.iter().zip(&values) {
+                prop_assert_eq!(got.as_deref(), Some(last[item]), "round-trip of item {}", item);
+            }
+        }
+    }
+}

@@ -38,12 +38,14 @@ pub fn render_json(report: &ScenarioReport) -> String {
     ));
     out.push_str(&format!(
         "  \"workload\": {{ \"universe\": {}, \"request_size\": {}, \
-         \"requests_per_round\": {}, \"rounds\": {}, \"seed\": {} }},\n",
+         \"requests_per_round\": {}, \"rounds\": {}, \"seed\": {}, \
+         \"write_fraction\": {:.2} }},\n",
         s.workload.universe,
         s.workload.request_size,
         s.workload.requests_per_round,
         s.workload.rounds,
-        s.workload.seed
+        s.workload.seed,
+        s.workload.write_fraction
     ));
     out.push_str(&format!(
         "  \"metrics\": {{ \"recovery_rounds\": {}, \"recovery_ms\": {}, \
@@ -79,7 +81,8 @@ pub fn render_json(report: &ScenarioReport) -> String {
             "    {{ \"round\": {}, \"phase\": \"{}\", \"requests\": {}, \"items\": {}, \
              \"round1_txns\": {}, \"round2_txns\": {}, \"round3_txns\": {}, \
              \"failed_txns\": {}, \"reconnects\": {}, \"planned_misses\": {}, \
-             \"writebacks\": {}, \"unavailable\": {}, \"miss_rate\": {:.6}, \
+             \"writebacks\": {}, \"writes\": {}, \"write_txns\": {}, \
+             \"unavailable\": {}, \"miss_rate\": {:.6}, \
              \"tpr\": {:.4} }}{sep}\n",
             r.round,
             r.phase,
@@ -92,6 +95,8 @@ pub fn render_json(report: &ScenarioReport) -> String {
             r.reconnects,
             r.planned_misses,
             r.writebacks,
+            r.writes,
+            r.write_txns,
             r.unavailable,
             r.miss_rate,
             r.tpr

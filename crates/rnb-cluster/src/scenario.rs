@@ -50,6 +50,12 @@ pub struct WorkloadSpec {
     pub rounds: usize,
     /// Workload RNG seed (placement seed is the deployment default).
     pub seed: u64,
+    /// Fraction of driven ops that are `multi_set` write bursts (of
+    /// `request_size` items) instead of multi-gets. Writes are spread
+    /// evenly among the reads of a round; write failures during an
+    /// event (e.g. a killed distinguished server) are data — they land
+    /// in `failed_txns` — not harness errors.
+    pub write_fraction: f64,
 }
 
 /// The mid-run event a scenario injects.
@@ -211,6 +217,11 @@ pub struct RoundStats {
     pub planned_misses: u64,
     /// Write-backs performed.
     pub writebacks: u64,
+    /// Items written via `multi_set` bursts this round.
+    pub writes: u64,
+    /// Write-side transactions (one per pipelined burst per touched
+    /// server) this round.
+    pub write_txns: u64,
     /// Items no server could supply.
     pub unavailable: u64,
     /// `unavailable / items`.
@@ -339,6 +350,11 @@ pub fn run_scenario(s: &Scenario) -> io::Result<ScenarioReport> {
     let mut clean_streak = 0usize;
     let mut pending: Option<(usize, f64)> = None; // (round, ms at round end)
     let mut recovered: Option<(usize, f64)> = None;
+    // Deterministic write cursor: mixed-write cells cycle the universe
+    // so repeated bursts re-store `value_for(item)` and reads stay
+    // consistent with the populated values.
+    let mut next_write_item = 0u64;
+    let mut entries: Vec<(u64, Vec<u8>)> = Vec::with_capacity(w.request_size);
 
     for round in 0..w.rounds {
         // --- apply event actions scheduled at this round boundary ---
@@ -422,12 +438,30 @@ pub fn run_scenario(s: &Scenario) -> io::Result<ScenarioReport> {
             .as_mut()
             .ok_or_else(|| io::Error::other("client missing outside a membership change"))?;
         let mut items_requested = 0u64;
-        for _ in 0..w.requests_per_round * multiplier {
-            let request = stream.next_request();
-            items_requested += request.len() as u64;
-            // Degraded service (failed transactions, misses) is data,
-            // not an error: multi_get only fails on client-side bugs.
-            let _values = c.multi_get(&request)?;
+        let ops = w.requests_per_round * multiplier;
+        let write_ops = (ops as f64 * w.write_fraction).round() as usize;
+        for i in 0..ops {
+            // Bresenham spread: `write_ops` of the round's `ops` slots
+            // are multi_set bursts, interleaved evenly among the reads.
+            let is_write = write_ops > 0 && ((i + 1) * write_ops) / ops > (i * write_ops) / ops;
+            if is_write {
+                entries.clear();
+                for _ in 0..w.request_size {
+                    let item = next_write_item % w.universe;
+                    next_write_item += 1;
+                    entries.push((item, value_for(item)));
+                }
+                // Degraded writes (e.g. a killed distinguished server
+                // mid-burst) are data, not an error: the failure is
+                // already recorded in failed_txns.
+                let _ = c.multi_set(&entries);
+            } else {
+                let request = stream.next_request();
+                items_requested += request.len() as u64;
+                // Degraded service (failed transactions, misses) is data,
+                // not an error: multi_get only fails on client-side bugs.
+                let _values = c.multi_get(&request)?;
+            }
         }
         let now = c.stats();
         let delta = now.since(&prev);
@@ -447,6 +481,8 @@ pub fn run_scenario(s: &Scenario) -> io::Result<ScenarioReport> {
             reconnects: delta.reconnects,
             planned_misses: delta.planned_misses,
             writebacks: delta.writebacks,
+            writes: delta.writes,
+            write_txns: delta.write_txns,
             unavailable: delta.unavailable_items,
             miss_rate: if items_requested == 0 {
                 0.0
@@ -596,6 +632,7 @@ pub fn scenario_grid(quick: bool) -> Vec<Scenario> {
         requests_per_round: rpr,
         rounds,
         seed,
+        write_fraction: 0.0,
     };
     vec![
         Scenario {
@@ -653,6 +690,30 @@ pub fn scenario_grid(quick: bool) -> Vec<Scenario> {
                 max_steady_miss_rate: 0.001,
                 max_tpr: 5.0,
                 min_reconnects: 0,
+            },
+        },
+        Scenario {
+            name: "mixed_write",
+            topology: topology.clone(),
+            workload: WorkloadSpec {
+                write_fraction: 0.3,
+                ..workload(8, 0xD00D)
+            },
+            event: Event::KillRestart {
+                node: 1,
+                kill_at: 2,
+                restart_at: 4,
+            },
+            bounds: Bounds {
+                max_recovery_rounds: 3,
+                // Reads keep serving through the crash (k=2), and write
+                // failures land in failed_txns rather than losing items:
+                // the bundled write path must not turn a dead server
+                // into read unavailability.
+                max_transition_miss_rate: 0.01,
+                max_steady_miss_rate: 0.001,
+                max_tpr: 5.0,
+                min_reconnects: 1,
             },
         },
         Scenario {

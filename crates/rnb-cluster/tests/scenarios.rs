@@ -172,6 +172,7 @@ fn run_cell(name: &str) -> rnb_cluster::ScenarioReport {
         "\"reconnects\"",
         "\"bounds\"",
         "\"rounds\"",
+        "\"write_fraction\"",
         "\"passed\": true",
     ] {
         assert!(text.contains(key), "{name} artifact is missing {key}");
@@ -229,6 +230,42 @@ fn hot_key_storm_stays_available() {
         report.metrics.failed_txns == 0,
         "storms must not fail transactions"
     );
+}
+
+#[test]
+fn mixed_write_survives_kill() {
+    let report = run_cell("mixed_write");
+    let m = &report.metrics;
+    // The cell actually drove bundled writes: every round carries
+    // multi_set bursts, and each burst costs at most one write txn per
+    // touched server (write_txns stays well under one-per-item).
+    assert!(
+        report.rounds.iter().all(|r| r.writes > 0),
+        "a 0.3 write fraction must write in every round"
+    );
+    // Only baseline rounds are pure bursts: the restart round's delta
+    // also contains the sequential per-item repair repopulation.
+    for r in report.rounds.iter().filter(|r| r.phase == "baseline") {
+        assert!(
+            r.write_txns <= r.writes,
+            "round {}: {} write txns for {} written items — bursts were not bundled",
+            r.round,
+            r.write_txns,
+            r.writes
+        );
+    }
+    // The kill degraded writes (dead server) without losing reads: the
+    // transition window shows failed transactions but ~zero miss rate,
+    // and the client recovered after restart + repair.
+    assert!(
+        report
+            .rounds
+            .iter()
+            .any(|r| r.phase == "transition" && r.failed_txns > 0),
+        "no failed write observed while a node was down"
+    );
+    assert!(m.recovery_rounds.is_some(), "never recovered");
+    assert!(m.reconnects >= 1, "client never reconnected");
 }
 
 #[test]

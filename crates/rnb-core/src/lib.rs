@@ -50,6 +50,8 @@ pub use bundler::{Bundler, PlanScratch};
 pub use config::{PlacementKind, RnbConfig};
 pub use placement::PlacementStrategy;
 pub use plan::{FetchPlan, Transaction};
-pub use write::{WritePlan, WritePlanner, WritePolicy};
+pub use write::{
+    BatchWritePlan, WriteBatchPlanner, WriteGroup, WritePlan, WritePlanner, WritePolicy,
+};
 
 pub use rnb_hash::{ItemId, Placement, ServerId};

@@ -1,0 +1,51 @@
+//! Proof of the batch write planner's zero-steady-state-allocation
+//! guarantee (the write-side analogue of `rnb-cover`'s
+//! `tests/zero_alloc.rs`): after one warm-up batch per shape, planning a
+//! write batch through [`rnb_core::WriteBatchPlanner`] performs zero
+//! allocator calls, for both write policies, including smaller follow-up
+//! batches (pools shrink logically, never physically).
+//!
+//! Kept to a single `#[test]` so no sibling test thread muddies the
+//! warm-up ordering.
+
+use alloc_counter::{count_alloc, AllocCounterSystem};
+use rnb_core::{PlacementStrategy, RnbConfig, WriteBatchPlanner, WritePlanner, WritePolicy};
+
+#[global_allocator]
+static ALLOC: AllocCounterSystem = AllocCounterSystem;
+
+#[test]
+fn steady_state_write_planning_does_not_allocate() {
+    let config = RnbConfig::new(16, 4);
+    for policy in [WritePolicy::WriteAll, WritePolicy::InvalidateThenWrite] {
+        let writer = WritePlanner::new(PlacementStrategy::from_config(&config), policy);
+        let mut batcher = WriteBatchPlanner::new();
+
+        // Warm-up: first batch grows every pool to this shape.
+        let warm = batcher.plan_batch(&writer, (0..200u64).map(|i| i * 7 % 331));
+        assert!(warm.total_ops() > 0);
+
+        // Steady state: identical-shape batches must not touch the
+        // allocator. (A batch with a *different* item mix may still grow
+        // a pooled group's op vector once — pools converge, they are not
+        // preallocated to the worst case.)
+        for round in 0..20 {
+            let ((allocs, reallocs, deallocs), ops) = count_alloc(|| {
+                batcher
+                    .plan_batch(&writer, (0..200u64).map(|i| i * 7 % 331))
+                    .total_ops()
+            });
+            assert_eq!(ops, 200 * 4);
+            assert_eq!(
+                (allocs, reallocs, deallocs),
+                (0, 0, 0),
+                "round {round} under {policy:?} touched the allocator"
+            );
+        }
+
+        // A smaller batch after warm-up also stays allocation-free.
+        let ((a, r, d), ops) = count_alloc(|| batcher.plan_batch(&writer, 0..10u64).total_ops());
+        assert_eq!(ops, 10 * 4);
+        assert_eq!((a, r, d), (0, 0, 0), "shrunken batch allocated");
+    }
+}

@@ -364,6 +364,57 @@ impl SimCluster {
         self.metrics.write_txns += txns as u64;
         txns
     }
+
+    /// Execute a bundled write of `items` under `policy`, mirroring the
+    /// client's `multi_set`: per-replica stores/invalidations are grouped
+    /// by server, and every touched server costs ONE transaction per
+    /// phase (one pipelined burst) instead of one per item-replica.
+    /// Returns the number of server transactions the batch cost.
+    ///
+    /// Cache-state effects and the per-item metrics (`writes`,
+    /// `invalidations`) are identical to calling
+    /// [`execute_write`](Self::execute_write) once per item; only the
+    /// transaction accounting changes. Comparing `write_txns` between the
+    /// two paths is what makes the fixed-`k` write amplification — and
+    /// the bundling relief the write planner buys — visible in the sim
+    /// grid.
+    pub fn execute_write_batch(&mut self, items: &[ItemId], policy: WritePolicy) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let mut write_touched = vec![false; self.servers.len()];
+        let mut inval_touched = vec![false; self.servers.len()];
+        let mut replicas = Vec::with_capacity(self.config.logical_replication);
+        for &item in items {
+            assert!(
+                (item as usize) < self.universe,
+                "write of unknown item {item}"
+            );
+            self.bundler.placement().replicas_into(item, &mut replicas);
+            match policy {
+                WritePolicy::WriteAll => {
+                    for &server in &replicas[1..] {
+                        self.servers[server as usize].insert_replica(item);
+                        write_touched[server as usize] = true;
+                    }
+                    write_touched[replicas[0] as usize] = true;
+                }
+                WritePolicy::InvalidateThenWrite => {
+                    for &server in &replicas[1..] {
+                        self.servers[server as usize].remove_replica(item);
+                        self.metrics.invalidations += 1;
+                        inval_touched[server as usize] = true;
+                    }
+                    write_touched[replicas[0] as usize] = true;
+                }
+            }
+        }
+        let txns = write_touched.iter().filter(|&&t| t).count()
+            + inval_touched.iter().filter(|&&t| t).count();
+        self.metrics.writes += items.len() as u64;
+        self.metrics.write_txns += txns as u64;
+        txns
+    }
 }
 
 #[cfg(test)]
@@ -688,6 +739,70 @@ mod tests {
     fn write_of_out_of_universe_item_rejected() {
         let mut c = basic_cluster(4, 2, 10);
         c.execute_write(99, WritePolicy::WriteAll);
+    }
+
+    #[test]
+    fn batched_writes_cost_one_txn_per_touched_server() {
+        let cfg = SimConfig::enhanced(8, 3, 3.0).with_hitchhiking(false);
+        let items: Vec<ItemId> = (0..40).collect();
+        let mut batched = SimCluster::new(cfg.clone(), 200);
+        let mut sequential = SimCluster::new(cfg, 200);
+
+        let batch_txns = batched.execute_write_batch(&items, WritePolicy::WriteAll);
+        let mut seq_txns = 0;
+        for &item in &items {
+            seq_txns += sequential.execute_write(item, WritePolicy::WriteAll);
+        }
+
+        // The bundled burst touches each server at most once, so it can
+        // never exceed the server count — while the per-item path pays
+        // k txns per item (the fixed-k write amplification).
+        assert!(batch_txns <= 8, "batch cost {batch_txns} txns");
+        assert_eq!(seq_txns, 40 * 3);
+        assert!(batch_txns < seq_txns);
+        assert_eq!(batched.metrics().writes, 40);
+        assert_eq!(batched.metrics().write_txns, batch_txns as u64);
+
+        // Cache state is identical to the sequential loop.
+        for &item in &items {
+            for &s in &batched.bundler.placement().replicas(item) {
+                assert_eq!(
+                    batched.server(s).holds(item),
+                    sequential.server(s).holds(item)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_invalidate_counts_both_phases() {
+        let mut c = SimCluster::new(SimConfig::enhanced(8, 3, 3.0).with_hitchhiking(false), 200);
+        let items: Vec<ItemId> = (0..20).collect();
+        // Warm every replica so the invalidations have something to clear.
+        c.execute_write_batch(&items, WritePolicy::WriteAll);
+        c.reset_metrics();
+
+        let txns = c.execute_write_batch(&items, WritePolicy::InvalidateThenWrite);
+        // One txn per touched server per phase: invalidation burst plus
+        // distinguished-write burst, each bounded by the server count.
+        assert!(txns <= 16, "two phases over 8 servers, got {txns}");
+        assert_eq!(c.metrics().invalidations, 20 * 2);
+        assert_eq!(c.metrics().write_txns, txns as u64);
+        for &item in &items {
+            let reps = c.bundler.placement().replicas(item);
+            assert!(c.server(reps[0]).holds(item));
+            for &s in &reps[1..] {
+                assert!(!c.server(s).holds(item));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_write_batch_is_free() {
+        let mut c = basic_cluster(4, 2, 10);
+        assert_eq!(c.execute_write_batch(&[], WritePolicy::WriteAll), 0);
+        assert_eq!(c.metrics().writes, 0);
+        assert_eq!(c.metrics().write_txns, 0);
     }
 
     /// Reproduces Fig 7's locality story as a deterministic check: two

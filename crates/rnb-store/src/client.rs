@@ -12,6 +12,29 @@ pub struct StoreClient {
     writer: BufWriter<TcpStream>,
 }
 
+/// One operation of a pipelined storage burst
+/// ([`StoreClient::send_storage_batch`] /
+/// [`StoreClient::recv_storage_batch`]). Borrows the caller's key and
+/// value bytes: the send half copies them straight into the socket
+/// buffer, so a burst costs no per-op allocation.
+#[derive(Debug, Clone, Copy)]
+pub enum StorageOp<'a> {
+    /// `set key flags 0 len` + data block → `STORED`.
+    Set {
+        /// Key bytes (no spaces or control characters).
+        key: &'a [u8],
+        /// Value bytes.
+        value: &'a [u8],
+        /// Opaque client flags echoed back on reads.
+        flags: u32,
+    },
+    /// `delete key` → `DELETED` / `NOT_FOUND`.
+    Delete {
+        /// Key bytes.
+        key: &'a [u8],
+    },
+}
+
 fn proto_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
@@ -184,6 +207,72 @@ impl StoreClient {
         Ok(out)
     }
 
+    /// Pipelining half 1 of the write path: write every storage command
+    /// of `ops` into the socket with a single flush, without reading any
+    /// reply. Pair each call with [`StoreClient::recv_storage_batch`]
+    /// (same ops, same order) on this connection; interleaving other
+    /// operations between the two halves desyncs the stream. An empty
+    /// burst sends nothing.
+    pub fn send_storage_batch(&mut self, ops: &[StorageOp<'_>]) -> io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        for op in ops {
+            match *op {
+                StorageOp::Set { key, value, flags } => {
+                    self.writer.write_all(b"set ")?;
+                    self.writer.write_all(key)?;
+                    write!(self.writer, " {flags} 0 {}\r\n", value.len())?;
+                    self.writer.write_all(value)?;
+                    self.writer.write_all(b"\r\n")?;
+                }
+                StorageOp::Delete { key } => {
+                    self.writer.write_all(b"delete ")?;
+                    self.writer.write_all(key)?;
+                    self.writer.write_all(b"\r\n")?;
+                }
+            }
+        }
+        self.writer.flush()
+    }
+
+    /// Pipelining half 2 of the write path: read one status line per op
+    /// of an earlier [`StoreClient::send_storage_batch`] with the same
+    /// ops. `acks` is cleared and refilled positionally: `true` for
+    /// `STORED`/`DELETED`, `false` for a `delete` that found nothing.
+    /// Any other reply (e.g. `SERVER_ERROR out of memory`) is a protocol
+    /// error — the stream may hold further replies, so the caller must
+    /// treat the connection as broken.
+    pub fn recv_storage_batch(
+        &mut self,
+        ops: &[StorageOp<'_>],
+        acks: &mut Vec<bool>,
+    ) -> io::Result<()> {
+        acks.clear();
+        for op in ops {
+            let line = self.expect_line()?;
+            let ack = match (op, line.as_slice()) {
+                (StorageOp::Set { .. }, b"STORED") => true,
+                (StorageOp::Delete { .. }, b"DELETED") => true,
+                (StorageOp::Delete { .. }, b"NOT_FOUND") => false,
+                (StorageOp::Set { .. }, other) => {
+                    return Err(proto_err(format!(
+                        "batched set: {}",
+                        String::from_utf8_lossy(other)
+                    )));
+                }
+                (StorageOp::Delete { .. }, other) => {
+                    return Err(proto_err(format!(
+                        "batched delete: {}",
+                        String::from_utf8_lossy(other)
+                    )));
+                }
+            };
+            acks.push(ack);
+        }
+        Ok(())
+    }
+
     /// `add`: true if stored (key was absent).
     pub fn add(&mut self, key: &[u8], value: &[u8], flags: u32) -> io::Result<bool> {
         self.store_like("add", key, value, flags, None)
@@ -353,6 +442,49 @@ mod tests {
         // The connection is still usable for the pipelined halves too.
         client.send_get_multi(&[]).unwrap();
         assert_eq!(client.recv_get_multi(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn storage_batch_halves_round_trip() {
+        // One flush carries the whole burst; one status line per op
+        // comes back positionally.
+        let addr = fake_server(b"STORED\r\nDELETED\r\nNOT_FOUND\r\n");
+        let mut client = StoreClient::connect(addr).unwrap();
+        let ops = [
+            StorageOp::Set {
+                key: b"a",
+                value: b"v1",
+                flags: 7,
+            },
+            StorageOp::Delete { key: b"a" },
+            StorageOp::Delete { key: b"ghost" },
+        ];
+        client.send_storage_batch(&ops).unwrap();
+        let mut acks = Vec::new();
+        client.recv_storage_batch(&ops, &mut acks).unwrap();
+        assert_eq!(acks, vec![true, true, false]);
+        // An empty burst moves no bytes in either half.
+        client.send_storage_batch(&[]).unwrap();
+        client.recv_storage_batch(&[], &mut acks).unwrap();
+        assert!(acks.is_empty());
+    }
+
+    #[test]
+    fn storage_batch_rejects_unexpected_status() {
+        // NOT_FOUND answers a delete, never a set: surfacing the
+        // mismatch is what lets callers mark the connection broken.
+        let addr = fake_server(b"NOT_FOUND\r\n");
+        let mut client = StoreClient::connect(addr).unwrap();
+        let ops = [StorageOp::Set {
+            key: b"k",
+            value: b"v",
+            flags: 0,
+        }];
+        client.send_storage_batch(&ops).unwrap();
+        let mut acks = Vec::new();
+        let err = client.recv_storage_batch(&ops, &mut acks).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("batched set"), "{err}");
     }
 
     #[test]

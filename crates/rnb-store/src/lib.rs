@@ -48,10 +48,10 @@ pub mod stats;
 pub mod store;
 pub mod udp;
 
-pub use client::StoreClient;
+pub use client::{StorageOp, StoreClient};
 pub use clock::{Clock, RealClock, TestClock, Tick};
 pub use loadgen::{run_load, run_load_with_clock, LoadReport, LoadSpec};
 pub use replicated::{Dispatch, ReadOp, ReadOutcome, WriteOp, WriteOutcome};
 pub use server::{serve_connection, ConnScratch, ServerConfig, StoreServer};
-pub use store::{GetScratch, HotConfig, Store};
+pub use store::{GetScratch, HotConfig, SetEntry, Store};
 pub use udp::{UdpStoreClient, UdpStoreServer};

@@ -20,7 +20,7 @@
 use crate::poller::{Conn, Poller};
 use crate::protocol::{self, reply, Command, NextRequest, StoreVerb};
 use crate::shard::{ArithOutcome, CasOutcome, SetOutcome, Value};
-use crate::store::{GetScratch, Store};
+use crate::store::{GetScratch, SetEntry, Store};
 use parking_lot::Mutex;
 use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -409,6 +409,58 @@ impl GetPathScratch {
     }
 }
 
+/// A plain `set` waiting in the current storage run, held as offset
+/// ranges into the connection input buffer (no key/value copies).
+#[derive(Debug, Clone, Copy)]
+struct PendingSet {
+    /// `(start, end)` of the key within the input buffer.
+    key: (usize, usize),
+    /// `(start, end)` of the data block within the input buffer.
+    data: (usize, usize),
+    flags: u32,
+    exptime: i64,
+    noreply: bool,
+}
+
+/// A `delete` waiting in the current storage run.
+#[derive(Debug, Clone, Copy)]
+struct PendingDelete {
+    /// `(start, end)` of the key within the input buffer.
+    key: (usize, usize),
+    noreply: bool,
+}
+
+/// Scratch for the burst drain's storage batching: consecutive plain
+/// `set` (or `delete`) requests of a pipelined burst are collected here
+/// and applied through [`Store::set_multi_with`] /
+/// [`Store::delete_multi_with`] as one shard-batched run — one lock and
+/// one clock read per touched shard instead of one per command.
+#[derive(Debug, Default)]
+struct WriteBatchScratch {
+    /// Pending plain-`set` run (empty whenever `deletes` is non-empty).
+    sets: Vec<PendingSet>,
+    /// Pending `delete` run (empty whenever `sets` is non-empty).
+    deletes: Vec<PendingDelete>,
+    /// Shard-batching scratch for the run.
+    batch: GetScratch,
+    /// Per-entry outcomes of a flushed set run.
+    outcomes: Vec<SetOutcome>,
+    /// Per-key outcomes of a flushed delete run.
+    deleted: Vec<bool>,
+}
+
+impl WriteBatchScratch {
+    const fn new() -> Self {
+        WriteBatchScratch {
+            sets: Vec::new(),
+            deletes: Vec::new(),
+            batch: GetScratch::new(),
+            outcomes: Vec::new(),
+            deleted: Vec::new(),
+        }
+    }
+}
+
 /// Per-worker (connection-reused) buffers for the command loop.
 /// Everything grows to steady-state sizes and is then reused verbatim —
 /// the loop performs no allocation once warm.
@@ -420,6 +472,8 @@ pub struct ConnScratch {
     data: Vec<u8>,
     /// Multi-get execution scratch.
     gets: GetPathScratch,
+    /// Storage-run batching scratch (readiness path only).
+    writes: WriteBatchScratch,
     /// Assembled response; one `write_all` per request batch.
     response: Vec<u8>,
     /// Worker-mode socket read staging (readiness path only).
@@ -433,6 +487,7 @@ impl ConnScratch {
             line: Vec::new(),
             data: Vec::new(),
             gets: GetPathScratch::new(),
+            writes: WriteBatchScratch::new(),
             response: Vec::new(),
             net: Vec::new(),
         }
@@ -567,23 +622,132 @@ fn execute_command(
     Ok(Reply::Continue)
 }
 
+/// Absolute `(start, end)` of `part` within the connection input
+/// buffer, given that `part` is a subslice of the parser's view, which
+/// itself starts at offset `base` of the input buffer. Plain address
+/// arithmetic — no bytes are copied or re-scanned.
+fn abs_range(view: &[u8], part: &[u8], base: usize) -> (usize, usize) {
+    let start = part.as_ptr() as usize - view.as_ptr() as usize + base;
+    debug_assert!(
+        start + part.len() <= base + view.len(),
+        "request part escapes the parsed view"
+    );
+    (start, start + part.len())
+}
+
+/// Apply the pending plain-`set` run as one shard-batched store call and
+/// append the replies in request order. No-op on an empty run.
+fn flush_pending_sets(
+    store: &Store,
+    writes: &mut WriteBatchScratch,
+    input: &[u8],
+    response: &mut Vec<u8>,
+) {
+    if writes.sets.is_empty() {
+        return;
+    }
+    let WriteBatchScratch {
+        sets,
+        batch,
+        outcomes,
+        ..
+    } = writes;
+    store.set_multi_with(
+        batch,
+        sets.len(),
+        |i| {
+            let p = sets[i];
+            SetEntry {
+                key: &input[p.key.0..p.key.1],
+                value: &input[p.data.0..p.data.1],
+                flags: p.flags,
+                pinned: false,
+                ttl: ttl_of(p.exptime),
+            }
+        },
+        outcomes,
+    );
+    for (p, outcome) in sets.iter().zip(outcomes.iter()) {
+        if !p.noreply {
+            response.extend_from_slice(match outcome {
+                SetOutcome::Stored { .. } => reply::STORED,
+                SetOutcome::OutOfMemory => reply::OOM,
+            });
+        }
+    }
+    sets.clear();
+}
+
+/// Apply the pending `delete` run as one shard-batched store call and
+/// append the replies in request order. No-op on an empty run.
+fn flush_pending_deletes(
+    store: &Store,
+    writes: &mut WriteBatchScratch,
+    input: &[u8],
+    response: &mut Vec<u8>,
+) {
+    if writes.deletes.is_empty() {
+        return;
+    }
+    let WriteBatchScratch {
+        deletes,
+        batch,
+        deleted,
+        ..
+    } = writes;
+    store.delete_multi_with(
+        batch,
+        deletes.len(),
+        |i| {
+            let p = deletes[i];
+            &input[p.key.0..p.key.1]
+        },
+        deleted,
+    );
+    for (p, was_there) in deletes.iter().zip(deleted.iter()) {
+        if !p.noreply {
+            response.extend_from_slice(if *was_there {
+                reply::DELETED
+            } else {
+                reply::NOT_FOUND
+            });
+        }
+    }
+    deletes.clear();
+}
+
 /// Execute every complete request buffered on `conn`, answering the
 /// whole batch with a single `write_all` (pipelined bursts thus cost
 /// one write syscall, not one per request). `Ok(true)` means close the
 /// connection (`quit` or a framing desync).
+///
+/// Runs of consecutive plain `set` (or `delete`) requests — the shape a
+/// pipelined [`crate::StoreClient::send_storage_batch`] burst produces —
+/// are not executed one by one: they are collected as offset ranges and
+/// applied through [`Store::set_multi_with`] / [`Store::delete_multi_with`]
+/// when the run ends, so a storage burst costs one lock (and one clock
+/// read) per touched shard instead of one per command. Replies stay in
+/// request order because a run is always flushed before any other
+/// command (or error report) appends its reply.
 fn drain_input(store: &Store, conn: &mut Conn, scratch: &mut ConnScratch) -> io::Result<bool> {
     let stats = store.raw_stats();
     let mut consumed_total = 0usize;
     let mut close = false;
     scratch.response.clear();
+    scratch.writes.sets.clear();
+    scratch.writes.deletes.clear();
     loop {
-        match protocol::next_request(&conn.input()[consumed_total..]) {
+        let input = conn.input();
+        let view = &input[consumed_total..];
+        match protocol::next_request(view) {
             NextRequest::Incomplete => break,
             NextRequest::Desync => {
                 close = true;
                 break;
             }
             NextRequest::Error { msg, consumed } => {
+                flush_pending_sets(store, &mut scratch.writes, input, &mut scratch.response);
+                flush_pending_deletes(store, &mut scratch.writes, input, &mut scratch.response);
                 write!(&mut scratch.response, "CLIENT_ERROR {msg}\r\n")?;
                 consumed_total += consumed;
             }
@@ -593,6 +757,60 @@ fn drain_input(store: &Store, conn: &mut Conn, scratch: &mut ConnScratch) -> io:
                 data,
                 consumed,
             } => {
+                match &cmd {
+                    Command::Set {
+                        verb: StoreVerb::Set,
+                        key,
+                        flags,
+                        exptime,
+                        noreply,
+                        ..
+                    } => {
+                        flush_pending_deletes(
+                            store,
+                            &mut scratch.writes,
+                            input,
+                            &mut scratch.response,
+                        );
+                        scratch.writes.sets.push(PendingSet {
+                            key: abs_range(view, key, consumed_total),
+                            data: abs_range(view, data, consumed_total),
+                            flags: *flags,
+                            exptime: *exptime,
+                            noreply: *noreply,
+                        });
+                        consumed_total += consumed;
+                        continue;
+                    }
+                    Command::Delete { key, noreply } => {
+                        flush_pending_sets(
+                            store,
+                            &mut scratch.writes,
+                            input,
+                            &mut scratch.response,
+                        );
+                        scratch.writes.deletes.push(PendingDelete {
+                            key: abs_range(view, key, consumed_total),
+                            noreply: *noreply,
+                        });
+                        consumed_total += consumed;
+                        continue;
+                    }
+                    _ => {
+                        flush_pending_sets(
+                            store,
+                            &mut scratch.writes,
+                            input,
+                            &mut scratch.response,
+                        );
+                        flush_pending_deletes(
+                            store,
+                            &mut scratch.writes,
+                            input,
+                            &mut scratch.response,
+                        );
+                    }
+                }
                 consumed_total += consumed;
                 let outcome = execute_command(
                     store,
@@ -608,6 +826,11 @@ fn drain_input(store: &Store, conn: &mut Conn, scratch: &mut ConnScratch) -> io:
                 }
             }
         }
+    }
+    {
+        let input = conn.input();
+        flush_pending_sets(store, &mut scratch.writes, input, &mut scratch.response);
+        flush_pending_deletes(store, &mut scratch.writes, input, &mut scratch.response);
     }
     conn.consume(consumed_total);
     if !scratch.response.is_empty() {
@@ -686,6 +909,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
         line,
         data,
         gets,
+        writes: _,
         response,
         net: _,
     } = scratch;
@@ -731,13 +955,99 @@ pub fn serve_connection<R: BufRead, W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::StoreClient;
+    use crate::client::{StorageOp, StoreClient};
     use crate::clock::TestClock;
 
     fn start() -> (StoreServer, StoreClient) {
         let server = StoreServer::start(Arc::new(Store::new(1 << 22))).unwrap();
         let client = StoreClient::connect(server.addr()).unwrap();
         (server, client)
+    }
+
+    #[test]
+    fn pipelined_storage_bursts_over_tcp() {
+        let (_server, mut client) = start();
+        let keys: Vec<Vec<u8>> = (0..40).map(|i| format!("bk{i}").into_bytes()).collect();
+        let vals: Vec<Vec<u8>> = (0..40).map(|i| format!("bv{i}").into_bytes()).collect();
+        let sets: Vec<StorageOp<'_>> = keys
+            .iter()
+            .zip(&vals)
+            .map(|(k, v)| StorageOp::Set {
+                key: k,
+                value: v,
+                flags: 5,
+            })
+            .collect();
+        let mut acks = Vec::new();
+        client.send_storage_batch(&sets).unwrap();
+        client.recv_storage_batch(&sets, &mut acks).unwrap();
+        assert_eq!(acks.len(), 40);
+        assert!(acks.iter().all(|&a| a), "every set should be STORED");
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let got = client.get_multi(&key_refs).unwrap();
+        for (i, g) in got.iter().enumerate() {
+            let (data, flags) = g.as_ref().unwrap();
+            assert_eq!(data, &vals[i]);
+            assert_eq!(*flags, 5);
+        }
+        // The server counted one cmd_set per batched op, exactly like
+        // the sequential path would.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("cmd_set").map(String::as_str), Some("40"));
+
+        let dels: Vec<StorageOp<'_>> = keys.iter().map(|k| StorageOp::Delete { key: k }).collect();
+        client.send_storage_batch(&dels).unwrap();
+        client.recv_storage_batch(&dels, &mut acks).unwrap();
+        assert!(acks.iter().all(|&a| a), "every delete should hit");
+        client.send_storage_batch(&dels).unwrap();
+        client.recv_storage_batch(&dels, &mut acks).unwrap();
+        assert!(acks.iter().all(|&a| !a), "second delete round all misses");
+    }
+
+    #[test]
+    fn batched_storage_runs_keep_reply_order() {
+        // One pipelined burst mixing set/get/delete/garbage: the drain
+        // batches the storage runs but every reply must still arrive in
+        // request order, and a get between two sets of the same key must
+        // observe the first one (runs flush before any other command).
+        let (server, _client) = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                b"set a 0 0 1\r\nx\r\nget a\r\nset a 0 0 1\r\ny\r\n\
+                  delete a\r\ndelete a\r\nfrobnicate\r\nversion\r\n",
+            )
+            .unwrap();
+        let mut reader = io::BufReader::new(stream);
+        let mut lines = Vec::new();
+        for _ in 0..9 {
+            let line = protocol::read_line(&mut reader).unwrap().unwrap();
+            lines.push(String::from_utf8_lossy(&line).into_owned());
+        }
+        assert_eq!(lines[0], "STORED");
+        assert_eq!(lines[1], "VALUE a 0 1");
+        assert_eq!(lines[2], "x");
+        assert_eq!(lines[3], "END");
+        assert_eq!(lines[4], "STORED");
+        assert_eq!(lines[5], "DELETED");
+        assert_eq!(lines[6], "NOT_FOUND");
+        assert!(lines[7].starts_with("CLIENT_ERROR"), "{}", lines[7]);
+        assert!(lines[8].contains("rnb-store"), "{}", lines[8]);
+    }
+
+    #[test]
+    fn batched_noreply_sets_stay_silent() {
+        let (server, _client) = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"set quiet 0 0 1 noreply\r\nq\r\nset loud 0 0 1\r\nl\r\nget quiet\r\n")
+            .unwrap();
+        let mut reader = io::BufReader::new(stream);
+        // Only the second set replies; the noreply one was still stored.
+        let line = protocol::read_line(&mut reader).unwrap().unwrap();
+        assert_eq!(line, b"STORED");
+        let line = protocol::read_line(&mut reader).unwrap().unwrap();
+        assert_eq!(line, b"VALUE quiet 0 1");
     }
 
     #[test]

@@ -76,6 +76,23 @@ impl GetScratch {
     }
 }
 
+/// One entry of a batched write ([`Store::set_multi`]): the same
+/// parameters as [`Store::set_with_ttl`], borrowed so a serving loop can
+/// point straight into its network buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SetEntry<'a> {
+    /// Entry key.
+    pub key: &'a [u8],
+    /// Value bytes.
+    pub value: &'a [u8],
+    /// Opaque client flags, returned verbatim on reads.
+    pub flags: u32,
+    /// Pinned entries (distinguished copies) are never evicted.
+    pub pinned: bool,
+    /// Optional expiry; `None` lives until evicted.
+    pub ttl: Option<Duration>,
+}
+
 /// Promotion/demotion policy for flat-combining hot-shard replication
 /// (see `replicated.rs` and DESIGN.md "Flat combining & hot-shard
 /// replication").
@@ -624,6 +641,194 @@ impl Store {
         }
     }
 
+    /// Store a whole batch, locking each touched shard at most once.
+    ///
+    /// The write-side analogue of [`Store::get_multi_with`]: keys are
+    /// grouped by shard through the pooled `scratch`, then each touched
+    /// shard's sub-batch is applied under a single data-lock acquisition
+    /// and a single clock read (cold shards), or enqueued into the flat
+    /// combiner as one batch — one drained batch, one primary lock —
+    /// while the shard is hot. `outcomes` is cleared and refilled in
+    /// entry order. Entries are applied in batch order within each
+    /// shard, so duplicate keys resolve exactly as a sequential
+    /// [`Store::set_with_ttl`] loop would (later entry wins); stats
+    /// accounting matches the sequential loop per op.
+    pub fn set_multi(
+        &self,
+        scratch: &mut GetScratch,
+        entries: &[SetEntry<'_>],
+        outcomes: &mut Vec<SetOutcome>,
+    ) {
+        self.set_multi_with(scratch, entries.len(), |i| entries[i], outcomes);
+    }
+
+    /// [`Store::set_multi`] with entries supplied by position through
+    /// `entry_at` (called O(1) times per entry), so callers — the
+    /// server's burst drain in particular — can hand out sub-slices of a
+    /// network buffer without materialising a `&[SetEntry]`.
+    pub fn set_multi_with<'k, F>(
+        &self,
+        scratch: &mut GetScratch,
+        count: usize,
+        entry_at: F,
+        outcomes: &mut Vec<SetOutcome>,
+    ) where
+        F: Fn(usize) -> SetEntry<'k>,
+    {
+        outcomes.clear();
+        outcomes.resize(count, SetOutcome::Stored { evicted: 0 });
+        scratch.begin(self.slots.len());
+        for i in 0..count {
+            let h = shard::key_hash(entry_at(i).key);
+            scratch.push((h & self.mask) as usize, i, h);
+        }
+        for &sh in &scratch.touched {
+            let slot = &self.slots[sh];
+            let bucket = &scratch.buckets[sh].entries;
+            let batch = bucket.len() as u64;
+            self.note_accesses(sh, batch);
+            slot.counters.writes.fetch_add(batch, Ordering::Relaxed);
+            'apply: {
+                if !slot.hinted_hot.load(Ordering::Relaxed) {
+                    // Cold fast path (hint re-checked under the mutex,
+                    // see ShardSlot): one lock and one clock read for
+                    // the whole sub-batch.
+                    #[cfg(test)]
+                    self.multi_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = slot.data.lock();
+                    if !slot.hinted_hot.load(Ordering::Relaxed) {
+                        let now = guard.now();
+                        for &(pos, h) in bucket {
+                            let e = entry_at(pos);
+                            outcomes[pos] = guard
+                                .set_full_hashed(h, e.key, e.value, e.flags, e.pinned, e.ttl, now);
+                        }
+                        break 'apply;
+                    }
+                }
+                let hot = slot.hot.read();
+                if let Some(hs) = hot.as_ref() {
+                    // Hot shard: the whole sub-batch enters the combiner
+                    // queue before combining starts, so it drains as one
+                    // batch — one log tick, one primary acquisition.
+                    let mut hot_out = Vec::with_capacity(bucket.len());
+                    hs.write_many(
+                        bucket.iter().map(|&(pos, _)| {
+                            let e = entry_at(pos);
+                            WriteOp::Set {
+                                key: Arc::from(e.key),
+                                value: Arc::from(e.value),
+                                flags: e.flags,
+                                pinned: e.pinned,
+                                ttl: e.ttl,
+                            }
+                        }),
+                        &slot.data,
+                        &mut hot_out,
+                    );
+                    for (&(pos, _), outcome) in bucket.iter().zip(hot_out) {
+                        outcomes[pos] = outcome.into_set();
+                    }
+                } else {
+                    #[cfg(test)]
+                    self.multi_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = slot.data.lock();
+                    let now = guard.now();
+                    for &(pos, h) in bucket {
+                        let e = entry_at(pos);
+                        outcomes[pos] =
+                            guard.set_full_hashed(h, e.key, e.value, e.flags, e.pinned, e.ttl, now);
+                    }
+                }
+            }
+        }
+        // Stats are folded over the batch first — one atomic add per
+        // counter instead of one per entry.
+        let (mut stored, mut evicted, mut oom) = (0u64, 0u64, 0u64);
+        for outcome in outcomes.iter() {
+            match *outcome {
+                SetOutcome::Stored { evicted: e } => {
+                    stored += 1;
+                    evicted += e as u64;
+                }
+                SetOutcome::OutOfMemory => oom += 1,
+            }
+        }
+        self.stats.sets.fetch_add(stored, Ordering::Relaxed);
+        self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.stats.oom_errors.fetch_add(oom, Ordering::Relaxed);
+    }
+
+    /// Delete a whole batch, locking each touched shard at most once;
+    /// `deleted` is cleared and refilled in key order (`true` where the
+    /// key existed). Stats match a sequential [`Store::delete`] loop.
+    pub fn delete_multi(&self, scratch: &mut GetScratch, keys: &[&[u8]], deleted: &mut Vec<bool>) {
+        self.delete_multi_with(scratch, keys.len(), |i| keys[i], deleted);
+    }
+
+    /// [`Store::delete_multi`] with keys supplied by position through
+    /// `key_at`, the accessor form used by the server's burst drain.
+    pub fn delete_multi_with<'k, F>(
+        &self,
+        scratch: &mut GetScratch,
+        count: usize,
+        key_at: F,
+        deleted: &mut Vec<bool>,
+    ) where
+        F: Fn(usize) -> &'k [u8],
+    {
+        deleted.clear();
+        deleted.resize(count, false);
+        scratch.begin(self.slots.len());
+        for i in 0..count {
+            let h = shard::key_hash(key_at(i));
+            scratch.push((h & self.mask) as usize, i, h);
+        }
+        for &sh in &scratch.touched {
+            let slot = &self.slots[sh];
+            let bucket = &scratch.buckets[sh].entries;
+            let batch = bucket.len() as u64;
+            self.note_accesses(sh, batch);
+            slot.counters.writes.fetch_add(batch, Ordering::Relaxed);
+            'apply: {
+                if !slot.hinted_hot.load(Ordering::Relaxed) {
+                    #[cfg(test)]
+                    self.multi_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = slot.data.lock();
+                    if !slot.hinted_hot.load(Ordering::Relaxed) {
+                        for &(pos, h) in bucket {
+                            deleted[pos] = guard.delete_hashed(h, key_at(pos));
+                        }
+                        break 'apply;
+                    }
+                }
+                let hot = slot.hot.read();
+                if let Some(hs) = hot.as_ref() {
+                    let mut hot_out = Vec::with_capacity(bucket.len());
+                    hs.write_many(
+                        bucket.iter().map(|&(pos, _)| WriteOp::Delete {
+                            key: Arc::from(key_at(pos)),
+                        }),
+                        &slot.data,
+                        &mut hot_out,
+                    );
+                    for (&(pos, _), outcome) in bucket.iter().zip(hot_out) {
+                        deleted[pos] = outcome.into_deleted();
+                    }
+                } else {
+                    #[cfg(test)]
+                    self.multi_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = slot.data.lock();
+                    for &(pos, h) in bucket {
+                        deleted[pos] = guard.delete_hashed(h, key_at(pos));
+                    }
+                }
+            }
+        }
+        let removed = deleted.iter().filter(|&&d| d).count() as u64;
+        self.stats.deletes.fetch_add(removed, Ordering::Relaxed);
+    }
+
     /// `add`: store only if absent; `None` if the key already exists.
     pub fn add(
         &self,
@@ -889,6 +1094,155 @@ mod tests {
         assert_eq!(locks as usize, distinct.len(), "one lock per touched shard");
         assert!(locks as usize <= 8);
         assert!(locks as usize <= refs.len());
+    }
+
+    #[test]
+    fn set_multi_locks_at_most_shards_touched() {
+        // The write-side tentpole invariant: a batched store takes one
+        // lock per touched shard, never one per key.
+        let store = Store::with_shards(1 << 20, 8);
+        let keys: Vec<Vec<u8>> = (0..100u32).map(|i| format!("w{i}").into_bytes()).collect();
+        let values: Vec<Vec<u8>> = (0..100u32).map(|i| format!("v{i}").into_bytes()).collect();
+        let entries: Vec<SetEntry> = keys
+            .iter()
+            .zip(&values)
+            .enumerate()
+            .map(|(i, (k, v))| SetEntry {
+                key: k,
+                value: v,
+                flags: i as u32,
+                pinned: false,
+                ttl: None,
+            })
+            .collect();
+        let distinct: std::collections::HashSet<usize> =
+            keys.iter().map(|k| store.shard_index(k)).collect();
+        assert!(distinct.len() > 1, "keys should span several shards");
+
+        let mut scratch = GetScratch::new();
+        let mut outcomes = Vec::new();
+        store.multi_lock_acquisitions.store(0, Ordering::Relaxed);
+        store.set_multi(&mut scratch, &entries, &mut outcomes);
+        let locks = store.multi_lock_acquisitions.load(Ordering::Relaxed);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, SetOutcome::Stored { .. })));
+        assert_eq!(locks as usize, distinct.len(), "one lock per touched shard");
+
+        // Everything landed, in entry order, with per-op stats parity.
+        for (i, k) in keys.iter().enumerate() {
+            let v = store.get(k).expect("batched set lost a key");
+            assert_eq!(v.data[..], values[i][..]);
+            assert_eq!(v.flags, i as u32);
+        }
+        assert_eq!(store.stats().sets, 100);
+
+        // delete_multi honours the same invariant.
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut deleted = Vec::new();
+        store.multi_lock_acquisitions.store(0, Ordering::Relaxed);
+        store.delete_multi(&mut scratch, &refs, &mut deleted);
+        let locks = store.multi_lock_acquisitions.load(Ordering::Relaxed);
+        assert_eq!(locks as usize, distinct.len(), "one lock per touched shard");
+        assert!(deleted.iter().all(|&d| d));
+        assert_eq!(store.stats().deletes, 100);
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn set_multi_duplicate_keys_last_wins() {
+        // Entries apply in batch order within a shard: a duplicate key
+        // resolves exactly like a sequential set loop.
+        let store = Store::with_shards(1 << 20, 4);
+        let mut scratch = GetScratch::new();
+        let mut outcomes = Vec::new();
+        let entries = [
+            SetEntry {
+                key: b"dup",
+                value: b"first",
+                flags: 1,
+                pinned: false,
+                ttl: None,
+            },
+            SetEntry {
+                key: b"other",
+                value: b"x",
+                flags: 0,
+                pinned: false,
+                ttl: None,
+            },
+            SetEntry {
+                key: b"dup",
+                value: b"second",
+                flags: 2,
+                pinned: false,
+                ttl: None,
+            },
+        ];
+        store.set_multi(&mut scratch, &entries, &mut outcomes);
+        assert_eq!(outcomes.len(), 3);
+        let v = store.get(b"dup").unwrap();
+        assert_eq!(&v.data[..], b"second");
+        assert_eq!(v.flags, 2);
+        assert_eq!(store.stats().sets, 3, "every occurrence counts as a set");
+    }
+
+    proptest! {
+        /// `set_multi` + `delete_multi` leave exactly the store state a
+        /// sequential per-key loop leaves, for any key/value mix
+        /// (duplicates included) on any shard count.
+        #[test]
+        fn set_multi_matches_sequential_loop(
+            writes in proptest::collection::vec((0u32..30, 0usize..40, any::<bool>()), 0..50),
+            shards_log2 in 0u32..5,
+        ) {
+            let batched = Store::with_shards(1 << 20, 1 << shards_log2);
+            let sequential = Store::with_shards(1 << 20, 1 << shards_log2);
+            let keys: Vec<Vec<u8>> =
+                writes.iter().map(|(n, _, _)| format!("k{n}").into_bytes()).collect();
+            let values: Vec<Vec<u8>> =
+                writes.iter().map(|(_, vlen, _)| vec![b'x'; *vlen]).collect();
+            let entries: Vec<SetEntry> = writes
+                .iter()
+                .zip(keys.iter().zip(&values))
+                .map(|((n, _, pinned), (k, v))| SetEntry {
+                    key: k, value: v, flags: *n, pinned: *pinned, ttl: None,
+                })
+                .collect();
+            let mut scratch = GetScratch::new();
+            let mut outcomes = Vec::new();
+            batched.set_multi(&mut scratch, &entries, &mut outcomes);
+            let seq_outcomes: Vec<SetOutcome> = entries
+                .iter()
+                .map(|e| sequential.set_with_ttl(e.key, e.value, e.flags, e.pinned, e.ttl))
+                .collect();
+            prop_assert_eq!(&outcomes, &seq_outcomes);
+
+            // Identical state under identical reads.
+            let check: Vec<Vec<u8>> = (0..30u32).map(|n| format!("k{n}").into_bytes()).collect();
+            let check_refs: Vec<&[u8]> = check.iter().map(Vec::as_slice).collect();
+            prop_assert_eq!(
+                batched.get_multi(&check_refs),
+                sequential.get_multi(&check_refs)
+            );
+
+            // Delete half the universe through both paths.
+            let victims: Vec<&[u8]> =
+                check.iter().step_by(2).map(Vec::as_slice).collect();
+            let mut deleted = Vec::new();
+            batched.delete_multi(&mut scratch, &victims, &mut deleted);
+            let seq_deleted: Vec<bool> =
+                victims.iter().map(|k| sequential.delete(k)).collect();
+            prop_assert_eq!(&deleted, &seq_deleted);
+            prop_assert_eq!(
+                batched.get_multi(&check_refs),
+                sequential.get_multi(&check_refs)
+            );
+            let (a, b) = (batched.stats(), sequential.stats());
+            prop_assert_eq!(a.sets, b.sets);
+            prop_assert_eq!(a.deletes, b.deletes);
+            prop_assert_eq!(a.oom_errors, b.oom_errors);
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub enum Op {
     Read(Request),
     /// A single-item write.
     Write(u64),
+    /// A multi-item write burst (the bundled write path's unit of work;
+    /// only emitted when [`ReadWriteMix::with_write_burst`] set a burst
+    /// size above 1).
+    WriteBurst(Vec<u64>),
 }
 
 /// Interleaves writes into a read-request stream.
@@ -24,6 +28,7 @@ pub struct ReadWriteMix<S> {
     reads: S,
     universe: u64,
     write_fraction: f64,
+    write_burst: usize,
     rng: StdRng,
 }
 
@@ -40,14 +45,33 @@ impl<S: RequestStream> ReadWriteMix<S> {
             reads,
             universe,
             write_fraction,
+            write_burst: 1,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Emit writes as [`Op::WriteBurst`]s of `burst` items instead of
+    /// single [`Op::Write`]s — the shape `RnbClient::multi_set` (and the
+    /// store's `set_multi`) consumes. `burst` must be at least 1; a
+    /// burst of 1 keeps the single-write encoding.
+    pub fn with_write_burst(mut self, burst: usize) -> Self {
+        assert!(burst >= 1, "write burst must be at least 1");
+        self.write_burst = burst;
+        self
     }
 
     /// Produce the next operation.
     pub fn next_op(&mut self) -> Op {
         if self.write_fraction > 0.0 && self.rng.random::<f64>() < self.write_fraction {
-            Op::Write(self.rng.random_range(0..self.universe))
+            if self.write_burst > 1 {
+                Op::WriteBurst(
+                    (0..self.write_burst)
+                        .map(|_| self.rng.random_range(0..self.universe))
+                        .collect(),
+                )
+            } else {
+                Op::Write(self.rng.random_range(0..self.universe))
+            }
         } else {
             Op::Read(self.reads.next_request())
         }
@@ -104,5 +128,36 @@ mod tests {
     #[should_panic(expected = "out of [0, 1)")]
     fn full_write_fraction_rejected() {
         mix(1.0);
+    }
+
+    #[test]
+    fn write_bursts_replace_single_writes() {
+        let mut m = mix(0.4).with_write_burst(16);
+        let ops = m.take_ops(500);
+        assert!(
+            !ops.iter().any(|op| matches!(op, Op::Write(_))),
+            "burst mode must not emit single writes"
+        );
+        let bursts: Vec<&Vec<u64>> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::WriteBurst(items) => Some(items),
+                _ => None,
+            })
+            .collect();
+        assert!(!bursts.is_empty());
+        for items in bursts {
+            assert_eq!(items.len(), 16);
+            assert!(items.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn burst_of_one_keeps_single_write_encoding() {
+        let mut m = mix(0.4).with_write_burst(1);
+        assert!(m
+            .take_ops(500)
+            .iter()
+            .all(|op| matches!(op, Op::Read(_) | Op::Write(_))));
     }
 }

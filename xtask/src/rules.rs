@@ -727,15 +727,19 @@ pub const RULES: &[(&str, &str)] = &[
     ),
 ];
 
-/// R7/R9 roots on the store side plus the client's batched read path.
-/// `serve_connection` is the protocol loop every request flows through;
-/// `get_multi`/`get_multi_with` are the store's batched read entry
-/// points; `multi_get` is the client-side plan→fetch→writeback driver.
+/// R7/R9 roots on the store side plus the client's batched read and
+/// write paths. `serve_connection` is the protocol loop every request
+/// flows through; `get_multi`/`get_multi_with` are the store's batched
+/// read entry points and `set_multi` the batched write entry point;
+/// `multi_get` is the client-side plan→fetch→writeback driver and
+/// `multi_set` its write-side sibling (plan→burst).
 pub const CLONE_ROOTS: &[(&str, &str)] = &[
     ("crates/rnb-store/src/server.rs", "serve_connection"),
     ("crates/rnb-store/src/server.rs", "serve_burst"),
     ("crates/rnb-store/src/poller.rs", "sweep"),
     ("crates/rnb-client/src/client.rs", "multi_get"),
+    ("crates/rnb-client/src/client.rs", "multi_set"),
+    ("crates/rnb-store/src/store.rs", "set_multi"),
 ];
 
 /// Allocation-by-copy calls R7 forbids in the serving closure.
@@ -781,7 +785,10 @@ pub const PANIC_ROOTS: &[(&str, &str)] = &[
     ("crates/rnb-store/src/poller.rs", "sweep"),
     ("crates/rnb-store/src/store.rs", "get_multi"),
     ("crates/rnb-store/src/store.rs", "get_multi_with"),
+    ("crates/rnb-store/src/store.rs", "set_multi"),
+    ("crates/rnb-store/src/store.rs", "set_multi_with"),
     ("crates/rnb-client/src/client.rs", "multi_get"),
+    ("crates/rnb-client/src/client.rs", "multi_set"),
 ];
 
 /// What R9 hunts in the closure: the R1 panic family plus the slice
@@ -835,7 +842,7 @@ pub const PANIC_INVARIANT_REGISTRY: &[(&str, &str, &str, &str)] = &[
     ),
     (
         "crates/rnb-store/src/shard.rs",
-        "set_full_at",
+        "set_full_hashed",
         ".copy_from_slice(",
         "the in-place overwrite arm is guarded by `buf.len() == value.len()` \
          in the same match pattern",
@@ -1814,6 +1821,43 @@ mod tests {
         let v = check_serving_clone_with(&clean, &graph, SERVE_ROOT, allow);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn r7_reintroduced_clone_in_write_burst_loop_fails() {
+        // The write-path acceptance fixture: `multi_set` is a clone
+        // root, so a value copy smuggled back into the burst loop (the
+        // pre-pooled-planner idiom was `value.to_vec()` per replica)
+        // must fail even when it hides one call away from the root.
+        let files = vec![SourceFile::new(
+            "crates/rnb-client/src/client.rs",
+            "pub fn multi_set(&mut self, entries: &[(u64, Vec<u8>)]) { \
+             let plan = self.batcher.plan(entries); run_bursts(&plan); }\n\
+             fn run_bursts(plan: &Plan) { for g in &plan.groups { \
+             let owned = g.value.to_vec(); send(owned); } }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let root: &[(&str, &str)] = &[("crates/rnb-client/src/client.rs", "multi_set")];
+        let v = check_serving_clone_with(&files, &graph, root, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R7/serving-path-clone");
+        assert!(v[0].message.contains("run_bursts"));
+    }
+
+    #[test]
+    fn r7_reintroduced_clone_in_set_multi_fails() {
+        // Store side: `set_multi` grouping must not copy keys per entry
+        // (the scratch interns positions, not bytes).
+        let files = vec![SourceFile::new(
+            "crates/rnb-store/src/store.rs",
+            "pub fn set_multi(&self, entries: &[Entry]) { \
+             for e in entries { self.stage(e.key.to_owned()); } }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let root: &[(&str, &str)] = &[("crates/rnb-store/src/store.rs", "set_multi")];
+        let v = check_serving_clone_with(&files, &graph, root, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
     }
 
     #[test]
